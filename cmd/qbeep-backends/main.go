@@ -1,0 +1,85 @@
+// Command qbeep-backends inspects the synthetic backend catalog.
+//
+// Usage:
+//
+//	qbeep-backends                    # table of all backends
+//	qbeep-backends -export istanbul   # one backend as JSON (wire format)
+//	qbeep-backends -export all -o dir # every backend to dir/<name>.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qbeep"
+	"qbeep/internal/device"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbeep-backends:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		export = flag.String("export", "", "backend name to export as JSON, or 'all'")
+		outDir = flag.String("o", ".", "output directory for -export all")
+	)
+	flag.Parse()
+
+	if *export == "" {
+		infos, err := qbeep.Backends()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-16s %7s %12s %12s %10s\n",
+			"name", "architecture", "qubits", "meanT1(us)", "meanT2(us)", "readout")
+		for _, b := range infos {
+			fmt.Printf("%-12s %-16s %7d %12.1f %12.1f %9.2f%%\n",
+				b.Name, b.Architecture, b.Qubits, b.MeanT1*1e6, b.MeanT2*1e6, b.MeanReadout*100)
+		}
+		return nil
+	}
+
+	backends, err := device.Catalog()
+	if err != nil {
+		return err
+	}
+	ion, err := device.IonBackend()
+	if err != nil {
+		return err
+	}
+	backends = append(backends, ion)
+
+	if *export == "all" {
+		for _, b := range backends {
+			data, err := json.MarshalIndent(b, "", "  ")
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, b.Name+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+		return nil
+	}
+
+	for _, b := range backends {
+		if b.Name == *export {
+			data, err := json.MarshalIndent(b, "", "  ")
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Println(string(data))
+			return err
+		}
+	}
+	return fmt.Errorf("unknown backend %q", *export)
+}

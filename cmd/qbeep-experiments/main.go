@@ -1,0 +1,169 @@
+// Command qbeep-experiments regenerates the tables and series behind
+// every figure of the paper's evaluation (see DESIGN.md §4 for the
+// figure-to-module index).
+//
+// Usage:
+//
+//	qbeep-experiments -fig all                 # everything, paper-sized
+//	qbeep-experiments -fig 2,4,6 -scale 0.1    # selected figures, 10 % corpora
+//	qbeep-experiments -fig 7 -shots 8192 -seed 42
+//	qbeep-experiments -fig all -csv out/       # also dump plot-ready CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qbeep/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbeep-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figs   = flag.String("fig", "all", "comma-separated figure ids (1,2,4,6,7,8,9,10,11), 'ablations', or 'all'")
+		scale  = flag.Float64("scale", 1, "corpus scale in (0,1]")
+		shots  = flag.Int("shots", 4096, "shots per circuit")
+		seed   = flag.Uint64("seed", 20230617, "root RNG seed")
+		csvDir = flag.String("csv", "", "directory for per-figure CSV dumps (created if missing)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:  *seed,
+		Shots: *shots,
+		Scale: *scale,
+		Out:   os.Stdout,
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	dump := func(figure string, w func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		path := filepath.Join(*csvDir, experiments.CSVName(figure))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := w(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
+
+	selected := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"1", "2", "4", "6", "7", "8", "9", "10", "11", "ablations"} {
+			selected[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			selected[strings.TrimSpace(f)] = true
+		}
+	}
+
+	type runner struct {
+		id  string
+		run func(experiments.Config) error
+	}
+	runners := []runner{
+		{"1", func(c experiments.Config) error {
+			_, err := experiments.Figure1(c)
+			return err
+		}},
+		{"2", func(c experiments.Config) error {
+			res, err := experiments.Figure2(c)
+			if err != nil {
+				return err
+			}
+			return dump("2", func(w io.Writer) error {
+				for i := range res {
+					if err := res[i].WriteCSV(w); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}},
+		{"4", func(c experiments.Config) error {
+			res, err := experiments.Figure4(c)
+			if err != nil {
+				return err
+			}
+			return dump("4", res.WriteCSV)
+		}},
+		{"6", func(c experiments.Config) error {
+			res, err := experiments.Figure6(c)
+			if err != nil {
+				return err
+			}
+			return dump("6", res.WriteCSV)
+		}},
+		{"7", func(c experiments.Config) error {
+			res, err := experiments.Figure7(c)
+			if err != nil {
+				return err
+			}
+			return dump("7", res.WriteCSV)
+		}},
+	}
+	// Figures 8, 9 and 11 share one sweep; run it once if any is selected.
+	if selected["8"] || selected["9"] || selected["11"] {
+		runners = append(runners, runner{"8/9/11", func(c experiments.Config) error {
+			res, err := experiments.RunQASMBench(c)
+			if err != nil {
+				return err
+			}
+			return dump("8", res.WriteCSV)
+		}})
+		delete(selected, "8")
+		delete(selected, "9")
+		delete(selected, "11")
+		selected["8/9/11"] = true
+	}
+	runners = append(runners, runner{"10", func(c experiments.Config) error {
+		res, err := experiments.Figure10(c)
+		if err != nil {
+			return err
+		}
+		return dump("10", res.WriteCSV)
+	}})
+	runners = append(runners, runner{"ablations", func(c experiments.Config) error {
+		_, err := experiments.Ablations(c)
+		return err
+	}})
+
+	ran := 0
+	for _, r := range runners {
+		if !selected[r.id] {
+			continue
+		}
+		fmt.Printf("\n==== Figure %s ====\n", r.id)
+		if err := r.run(cfg); err != nil {
+			return fmt.Errorf("figure %s: %w", r.id, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no figures selected (got -fig %q)", *figs)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command qbeep-sim runs an OpenQASM 2.0 circuit on a synthetic backend
+// under the hardware-style noise model and writes the measured counts as
+// JSON — completing the offline workflow with cmd/qbeep:
+//
+//	qbeep-sim -qasm bv.qasm -backend istanbul -shots 4096 > counts.json
+//	qbeep -counts counts.json -qasm bv.qasm -backend istanbul
+//
+// With -ideal the exact noiseless distribution is emitted instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"qbeep"
+	"qbeep/internal/results"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbeep-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		qasmPath = flag.String("qasm", "", "OpenQASM 2.0 circuit (required)")
+		backend  = flag.String("backend", "istanbul", "backend name (see qbeep-backends)")
+		shots    = flag.Int("shots", 4096, "shots")
+		seed     = flag.Uint64("seed", 1, "noise RNG seed")
+		ideal    = flag.Bool("ideal", false, "emit the noiseless distribution instead")
+		meta     = flag.Bool("meta", false, "wrap counts in the metadata envelope (backend, shots, lambda)")
+		outPath  = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	if *qasmPath == "" {
+		return fmt.Errorf("-qasm is required")
+	}
+	src, err := os.ReadFile(*qasmPath)
+	if err != nil {
+		return err
+	}
+	sim, err := qbeep.Simulate(string(src), *backend, *shots, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "backend %s: %d basis gates, %d swaps, schedule %.2e s, lambda %.4f\n",
+		*backend, sim.TranspiledGates, sim.Swaps, sim.Lambda.Time, sim.Lambda.Total())
+
+	counts := sim.Raw
+	if *ideal {
+		counts = sim.Ideal
+	}
+	var out []byte
+	if *meta {
+		env := &results.File{
+			Backend: *backend,
+			Circuit: *qasmPath,
+			Shots:   *shots,
+			Seed:    *seed,
+			Lambda:  sim.Lambda.Total(),
+			Counts:  counts,
+		}
+		out, err = env.Encode()
+		if err != nil {
+			return err
+		}
+	} else {
+		out, err = json.MarshalIndent(counts, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+	}
+	if *outPath == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(*outPath, out, 0o644)
+}

@@ -1,0 +1,124 @@
+// Command qbeep mitigates a measurement-counts file with Q-BEEP.
+//
+// The counts file is either a bare JSON object mapping bit-strings to
+// counts (the shape vendor SDKs emit) or the metadata envelope written by
+// qbeep-sim -meta, which already carries the λ estimate:
+//
+//	{"0101": 3812, "0111": 120, "0001": 88}
+//	{"backend": "istanbul", "lambda": 1.31, "counts": {"0101": 3812}}
+//
+// λ is supplied either directly (-lambda) or estimated from an OpenQASM
+// 2.0 circuit plus a named synthetic backend (-qasm, -backend), which is
+// the paper's pre-induction Eq. 2 path.
+//
+// Usage:
+//
+//	qbeep -counts counts.json -lambda 1.4
+//	qbeep -counts counts.json -qasm circuit.qasm -backend istanbul
+//	qbeep -counts counts.json -qasm circuit.qasm -backend istanbul -iterations 20 -epsilon 0.05
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"qbeep"
+	"qbeep/internal/bitstring"
+	"qbeep/internal/core"
+	"qbeep/internal/results"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbeep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		countsPath = flag.String("counts", "", "path to counts JSON (required)")
+		lambda     = flag.Float64("lambda", -1, "Poisson rate λ (skip estimation)")
+		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 circuit for λ estimation")
+		backend    = flag.String("backend", "", "backend name for λ estimation (see qbeep-backends)")
+		iterations = flag.Int("iterations", 20, "state-graph update iterations")
+		epsilon    = flag.Float64("epsilon", 0.05, "edge threshold ε")
+		dotPath    = flag.String("dot", "", "also write the pre-mitigation state graph as Graphviz DOT")
+		outPath    = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	if *countsPath == "" {
+		return fmt.Errorf("-counts is required")
+	}
+	file, err := results.Load(*countsPath)
+	if err != nil {
+		return err
+	}
+	counts := file.Counts
+
+	lam := *lambda
+	if lam < 0 && file.Lambda > 0 {
+		// The counts envelope already carries a pre-induction estimate
+		// (qbeep-sim -meta writes it).
+		lam = file.Lambda
+		fmt.Fprintf(os.Stderr, "using lambda %.4f from %s\n", lam, *countsPath)
+	}
+	if lam < 0 {
+		if *qasmPath == "" || *backend == "" {
+			return fmt.Errorf("provide -lambda, a counts envelope with lambda, or -qasm and -backend")
+		}
+		src, err := os.ReadFile(*qasmPath)
+		if err != nil {
+			return err
+		}
+		est, err := qbeep.EstimateLambdaQASM(string(src), *backend)
+		if err != nil {
+			return err
+		}
+		lam = est.Total()
+		fmt.Fprintf(os.Stderr, "estimated lambda = %.4f (T1 %.4f, T2 %.4f, gates %.4f; t = %.2e s)\n",
+			lam, est.T1, est.T2, est.Gates, est.Time)
+	}
+
+	if *dotPath != "" {
+		dist, err := bitstring.FromStringCounts(counts)
+		if err != nil {
+			return err
+		}
+		g, err := core.BuildStateGraph(dist, core.PoissonEdges{Lambda: lam}, *epsilon)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteDOT(f, 200); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s -> %s\n", g.Stats(), *dotPath)
+	}
+
+	opts := qbeep.Options{Iterations: *iterations, Epsilon: *epsilon}
+	mitigated, err := qbeep.Mitigate(counts, lam, opts)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(mitigated, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if *outPath == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(*outPath, out, 0o644)
+}

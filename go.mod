@@ -1,0 +1,3 @@
+module qbeep
+
+go 1.22

@@ -1,0 +1,195 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/circuit"
+)
+
+// mcx appends a multi-controlled X with controls ctrls onto target,
+// using work ancillas (the standard CCX ladder). It needs
+// len(ctrls)-2 ancillas for len(ctrls) >= 3; fewer controls lower to
+// CX/CCX directly. Ancillas must start and end in |0⟩ — the ladder
+// uncomputes them.
+func mcx(c *circuit.Circuit, ctrls []int, target int, ancillas []int) error {
+	switch len(ctrls) {
+	case 0:
+		c.X(target)
+		return nil
+	case 1:
+		c.CX(ctrls[0], target)
+		return nil
+	case 2:
+		c.CCX(ctrls[0], ctrls[1], target)
+		return nil
+	}
+	need := len(ctrls) - 2
+	if len(ancillas) < need {
+		return fmt.Errorf("algorithms: mcx with %d controls needs %d ancillas, have %d",
+			len(ctrls), need, len(ancillas))
+	}
+	// Compute ladder: anc[0] = c0·c1; anc[i] = anc[i-1]·c(i+1).
+	c.CCX(ctrls[0], ctrls[1], ancillas[0])
+	for i := 0; i < need-1; i++ {
+		c.CCX(ancillas[i], ctrls[i+2], ancillas[i+1])
+	}
+	c.CCX(ancillas[need-1], ctrls[len(ctrls)-1], target)
+	// Uncompute in reverse.
+	for i := need - 2; i >= 0; i-- {
+		c.CCX(ancillas[i], ctrls[i+2], ancillas[i+1])
+	}
+	c.CCX(ctrls[0], ctrls[1], ancillas[0])
+	return nil
+}
+
+// Grover builds the Grover search circuit over n data qubits marking the
+// single state marked, with the optimal ⌊π/4·√N⌋ iterations. For n >= 4
+// the multi-controlled operations use n-2 work ancillas appended after
+// the data register; the workload's DataQubits select the data register
+// only.
+//
+// The ideal output concentrates (≈ sin²((2k+1)θ)) on the marked state —
+// a low-entropy workload like BV, but with substantially deeper circuits.
+func Grover(n int, marked bitstring.BitString) (*Workload, error) {
+	if n < 2 || n > 10 {
+		return nil, fmt.Errorf("algorithms: grover width %d outside [2,10]", n)
+	}
+	if uint64(marked) >= uint64(1)<<uint(n) {
+		return nil, fmt.Errorf("algorithms: marked state %d outside register", marked)
+	}
+	anc := 0
+	if n > 2 {
+		anc = n - 2
+	}
+	c := circuit.New(fmt.Sprintf("grover-%d-%s", n, bitstring.Format(marked, n)), n+anc)
+	ancillas := make([]int, anc)
+	for i := range ancillas {
+		ancillas[i] = n + i
+	}
+	ctrls := make([]int, n-1)
+	for i := range ctrls {
+		ctrls[i] = i
+	}
+
+	// Multi-controlled Z on the data register: H on the last qubit,
+	// MCX(0..n-2 -> n-1), H back.
+	mcz := func() error {
+		c.H(n - 1)
+		if err := mcx(c, ctrls, n-1, ancillas); err != nil {
+			return err
+		}
+		c.H(n - 1)
+		return nil
+	}
+
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	iters := int(math.Floor(math.Pi / 4 * math.Sqrt(float64(uint64(1)<<uint(n)))))
+	if iters < 1 {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		c.Barrier()
+		// Oracle: phase-flip the marked state — X-conjugate the zeros,
+		// then MCZ.
+		for q := 0; q < n; q++ {
+			if marked.Bit(q) == 0 {
+				c.X(q)
+			}
+		}
+		if err := mcz(); err != nil {
+			return nil, err
+		}
+		for q := 0; q < n; q++ {
+			if marked.Bit(q) == 0 {
+				c.X(q)
+			}
+		}
+		// Diffusion: H^n · (phase-flip |0..0⟩) · H^n.
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+		for q := 0; q < n; q++ {
+			c.X(q)
+		}
+		if err := mcz(); err != nil {
+			return nil, err
+		}
+		for q := 0; q < n; q++ {
+			c.X(q)
+		}
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+	}
+	c.MeasureAll()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	data := make([]int, n)
+	for i := range data {
+		data[i] = i
+	}
+	return &Workload{
+		Circuit:       c,
+		DataQubits:    data,
+		Expected:      marked,
+		Deterministic: true, // dominant single answer (success prob < 1 but ≫ others)
+	}, nil
+}
+
+// QPE builds quantum phase estimation of the phase φ (in turns, [0, 1))
+// of a RZ-like unitary, using bits counting qubits plus one eigenstate
+// qubit. The ideal output peaks at round(φ·2^bits); when φ is exactly
+// representable the output is deterministic.
+func QPE(bits int, phi float64) (*Workload, error) {
+	if bits < 1 || bits > 10 {
+		return nil, fmt.Errorf("algorithms: QPE bits %d outside [1,10]", bits)
+	}
+	if phi < 0 || phi >= 1 {
+		return nil, fmt.Errorf("algorithms: phase %v outside [0,1)", phi)
+	}
+	n := bits + 1 // counting register + eigenstate qubit (the last)
+	c := circuit.New(fmt.Sprintf("qpe-%d", bits), n)
+	eig := bits
+	// Eigenstate of the phase unitary diag(1, e^{2πiφ}): |1⟩.
+	c.X(eig)
+	for q := 0; q < bits; q++ {
+		c.H(q)
+	}
+	// Controlled-U^(2^q): controlled phase 2π·φ·2^q realized with the
+	// standard RZ/CX decomposition.
+	for q := 0; q < bits; q++ {
+		theta := 2 * math.Pi * phi * math.Pow(2, float64(q))
+		cp(c, theta, q, eig)
+	}
+	// Inverse QFT on the counting register.
+	for i := 0; i < bits/2; i++ {
+		c.SWAP(i, bits-1-i)
+	}
+	for i := 0; i < bits; i++ {
+		for j := 0; j < i; j++ {
+			cp(c, -math.Pi/math.Pow(2, float64(i-j)), j, i)
+		}
+		c.H(i)
+	}
+	c.MeasureAll()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	data := make([]int, bits)
+	for i := range data {
+		data[i] = i
+	}
+	w := &Workload{Circuit: c, DataQubits: data}
+	// Exactly-representable phases give a deterministic answer.
+	scaled := phi * math.Pow(2, float64(bits))
+	if scaled == math.Trunc(scaled) {
+		w.Expected = bitstring.BitString(uint64(scaled))
+		w.Deterministic = true
+	}
+	return w, nil
+}

@@ -1,0 +1,128 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/circuit"
+)
+
+// DeutschJozsa builds the n-qubit Deutsch-Jozsa circuit: it decides
+// whether an oracle is constant or balanced with one query. constant
+// selects the oracle family; for balanced oracles, mask (non-zero)
+// selects the parity function f(x) = mask·x.
+//
+// Output over the data register: |0...0⟩ for constant oracles, the mask
+// for our balanced parity family — deterministic either way, making DJ a
+// BV-like low-entropy workload with a different oracle footprint.
+func DeutschJozsa(n int, constant bool, mask bitstring.BitString) (*Workload, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("algorithms: DJ width %d must be positive", n)
+	}
+	if !constant {
+		if mask == 0 || uint64(mask) >= uint64(1)<<uint(n) {
+			return nil, fmt.Errorf("algorithms: balanced DJ needs a non-zero in-range mask, got %b", mask)
+		}
+	}
+	name := fmt.Sprintf("dj-%d-balanced-%s", n, bitstring.Format(mask, n))
+	if constant {
+		name = fmt.Sprintf("dj-%d-constant", n)
+	}
+	c := circuit.New(name, n+1)
+	c.X(n).H(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.Barrier()
+	if constant {
+		// f(x) = 1: flip the ancilla unconditionally (global phase only).
+		c.X(n)
+	} else {
+		for q := 0; q < n; q++ {
+			if mask.Bit(q) == 1 {
+				c.CX(q, n)
+			}
+		}
+	}
+	c.Barrier()
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.MeasureAll()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	expected := bitstring.BitString(0)
+	if !constant {
+		expected = mask
+	}
+	data := make([]int, n)
+	for i := range data {
+		data[i] = i
+	}
+	return &Workload{
+		Circuit:       c,
+		DataQubits:    data,
+		Expected:      expected,
+		Deterministic: true,
+	}, nil
+}
+
+// Simon builds Simon's-problem circuit for the hidden period s over n
+// input qubits (2n qubits total: input + output register). The oracle
+// implements a 2-to-1 function f(x) = f(x⊕s) by copying x to the output
+// register and, conditioned on the first set bit of s, XOR-ing s into it.
+//
+// Measuring the input register yields uniformly random strings y with
+// y·s = 0 (mod 2): a structured, moderate-entropy (2^(n-1)-outcome)
+// distribution — between BV's point mass and QRNG's flat output, which is
+// the regime Fig. 11 interpolates.
+func Simon(n int, s bitstring.BitString) (*Workload, error) {
+	if n < 2 || n > 10 {
+		return nil, fmt.Errorf("algorithms: simon width %d outside [2,10]", n)
+	}
+	if s == 0 || uint64(s) >= uint64(1)<<uint(n) {
+		return nil, fmt.Errorf("algorithms: simon needs a non-zero in-range period, got %b", s)
+	}
+	// Pivot: lowest set bit of s.
+	pivot := 0
+	for s.Bit(pivot) == 0 {
+		pivot++
+	}
+	c := circuit.New(fmt.Sprintf("simon-%d-%s", n, bitstring.Format(s, n)), 2*n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.Barrier()
+	// Copy x into the output register.
+	for q := 0; q < n; q++ {
+		c.CX(q, n+q)
+	}
+	// Collapse the pairs {x, x⊕s}: conditioned on x_pivot, XOR s into the
+	// copy. Then f(x) = x ⊕ (x_pivot)·s satisfies f(x) = f(x⊕s).
+	for q := 0; q < n; q++ {
+		if s.Bit(q) == 1 {
+			c.CX(pivot, n+q)
+		}
+	}
+	c.Barrier()
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.MeasureAll()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	data := make([]int, n)
+	for i := range data {
+		data[i] = i
+	}
+	return &Workload{Circuit: c, DataQubits: data}, nil
+}
+
+// SimonConsistent reports whether measurement outcome y satisfies the
+// Simon promise y·s = 0 (mod 2) — the invariant every noiseless sample
+// obeys and the scoring rule for noisy runs.
+func SimonConsistent(y, s bitstring.BitString) bool {
+	return bitstring.BitString.Weight(y&s)%2 == 0
+}

@@ -1,0 +1,95 @@
+package bitstring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromCounts(t *testing.T) {
+	d := FromCounts(3, map[BitString]float64{0b001: 2, 0b110: 5})
+	if d.Width() != 3 || d.Total() != 7 || d.Count(0b110) != 5 {
+		t.Errorf("FromCounts: %v", d.StringCounts())
+	}
+	if e := FromCounts(2, nil); e.Support() != 0 {
+		t.Error("empty FromCounts should be empty")
+	}
+	// Non-positive counts are dropped by Add semantics.
+	d = FromCounts(2, map[BitString]float64{0b01: -3, 0b10: 4})
+	if d.Support() != 1 || d.Total() != 4 {
+		t.Errorf("negative counts should drop: %v", d.StringCounts())
+	}
+}
+
+func TestMarginalBasic(t *testing.T) {
+	d := NewDist(3)
+	d.Add(0b101, 5) // q0=1, q1=0, q2=1
+	d.Add(0b001, 3) // q0=1, q1=0, q2=0
+	m, err := d.Marginal([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Width() != 2 {
+		t.Fatalf("width %d", m.Width())
+	}
+	if m.Count(0b01) != 8 { // both collapse to q1=0,q0=1
+		t.Errorf("marginal: %v", m.StringCounts())
+	}
+}
+
+func TestMarginalReorders(t *testing.T) {
+	d := NewDist(3)
+	d.Add(0b011, 1) // q0=1, q1=1, q2=0
+	// keep = [2, 0]: result bit0 = q2 (0), bit1 = q0 (1).
+	m, err := d.Marginal([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count(0b10) != 1 {
+		t.Errorf("reordered marginal: %v", m.StringCounts())
+	}
+}
+
+func TestMarginalValidation(t *testing.T) {
+	d := NewDist(3)
+	d.Add(0, 1)
+	if _, err := d.Marginal(nil); err == nil {
+		t.Error("empty keep should error")
+	}
+	if _, err := d.Marginal([]int{0, 1, 2, 0}); err == nil {
+		t.Error("over-length keep should error")
+	}
+	if _, err := d.Marginal([]int{5}); err == nil {
+		t.Error("out-of-range keep should error")
+	}
+	if _, err := d.Marginal([]int{0, 0}); err == nil {
+		t.Error("repeated keep should error")
+	}
+}
+
+func TestMarginalPreservesMass(t *testing.T) {
+	f := func(raw [8]uint8, keepBits uint8) bool {
+		d := NewDist(4)
+		for i, c := range raw {
+			d.Add(BitString(i), float64(c))
+		}
+		if d.Total() == 0 {
+			return true
+		}
+		keep := []int{int(keepBits % 4)}
+		m, err := d.Marginal(keep)
+		if err != nil {
+			return false
+		}
+		return approx(m.Total(), d.Total(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbZeroTotal(t *testing.T) {
+	d := NewDist(2)
+	if d.Prob(0) != 0 {
+		t.Error("empty dist Prob should be 0")
+	}
+}

@@ -1,0 +1,149 @@
+// Package circuit defines the quantum-circuit intermediate representation
+// shared by the builders (internal/algorithms), the transpiler
+// (internal/transpile), the simulators (internal/statevector,
+// internal/noise) and the QASM serializer (internal/qasm).
+package circuit
+
+import "fmt"
+
+// Kind identifies a gate operation.
+type Kind int
+
+// The supported gate set. The first block is the logical vocabulary the
+// algorithm builders use; {RZ, SX, X, CX} is the IBMQ-style hardware basis
+// the transpiler targets.
+const (
+	I Kind = iota
+	X
+	Y
+	Z
+	H
+	S
+	Sdg
+	T
+	Tdg
+	SX
+	RX
+	RY
+	RZ
+	U3 // general single-qubit rotation U3(θ, φ, λ)
+	CX
+	CZ
+	SWAP
+	CCX // Toffoli
+	CSWAP
+	Measure
+	Barrier
+)
+
+var kindNames = map[Kind]string{
+	I: "id", X: "x", Y: "y", Z: "z", H: "h", S: "s", Sdg: "sdg",
+	T: "t", Tdg: "tdg", SX: "sx", RX: "rx", RY: "ry", RZ: "rz", U3: "u3",
+	CX: "cx", CZ: "cz", SWAP: "swap", CCX: "ccx", CSWAP: "cswap",
+	Measure: "measure", Barrier: "barrier",
+}
+
+// String returns the OpenQASM mnemonic for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Arity returns how many qubits the kind acts on (Barrier reports 0: it
+// applies to whatever qubit list it is given).
+func (k Kind) Arity() int {
+	switch k {
+	case CX, CZ, SWAP:
+		return 2
+	case CCX, CSWAP:
+		return 3
+	case Barrier:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// ParamCount returns the number of rotation parameters the kind takes.
+func (k Kind) ParamCount() int {
+	switch k {
+	case RX, RY, RZ:
+		return 1
+	case U3:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// IsUnitary reports whether the kind is a unitary gate (as opposed to
+// measurement or barrier).
+func (k Kind) IsUnitary() bool { return k != Measure && k != Barrier }
+
+// Gate is one operation in a circuit: a kind, the qubits it acts on
+// (control(s) first for controlled gates), and rotation parameters.
+type Gate struct {
+	Kind   Kind
+	Qubits []int
+	Params []float64
+}
+
+// Validate checks arity, parameter count, qubit bounds and distinctness
+// against an n-qubit register.
+func (g Gate) Validate(n int) error {
+	if a := g.Kind.Arity(); a != 0 && len(g.Qubits) != a {
+		return fmt.Errorf("circuit: %s expects %d qubits, got %d", g.Kind, a, len(g.Qubits))
+	}
+	if g.Kind == Barrier && len(g.Qubits) == 0 {
+		return fmt.Errorf("circuit: barrier needs at least one qubit")
+	}
+	if p := g.Kind.ParamCount(); len(g.Params) != p {
+		return fmt.Errorf("circuit: %s expects %d params, got %d", g.Kind, p, len(g.Params))
+	}
+	seen := make(map[int]bool, len(g.Qubits))
+	for _, q := range g.Qubits {
+		if q < 0 || q >= n {
+			return fmt.Errorf("circuit: qubit %d out of range [0,%d)", q, n)
+		}
+		if seen[q] {
+			return fmt.Errorf("circuit: %s uses qubit %d twice", g.Kind, q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+// String renders the gate in QASM-like form, e.g. "cx q[0],q[2]".
+func (g Gate) String() string {
+	s := g.Kind.String()
+	if len(g.Params) > 0 {
+		s += "("
+		for i, p := range g.Params {
+			if i > 0 {
+				s += ","
+			}
+			s += fmt.Sprintf("%g", p)
+		}
+		s += ")"
+	}
+	for i, q := range g.Qubits {
+		if i == 0 {
+			s += " "
+		} else {
+			s += ","
+		}
+		s += fmt.Sprintf("q[%d]", q)
+	}
+	return s
+}
+
+// Clone returns a deep copy of the gate.
+func (g Gate) Clone() Gate {
+	return Gate{
+		Kind:   g.Kind,
+		Qubits: append([]int(nil), g.Qubits...),
+		Params: append([]float64(nil), g.Params...),
+	}
+}

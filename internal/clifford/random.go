@@ -1,0 +1,86 @@
+package clifford
+
+import (
+	"fmt"
+
+	"qbeep/internal/circuit"
+	"qbeep/internal/mathx"
+)
+
+// cliffordKinds is the one- and two-qubit vocabulary random layers draw
+// from. The single-qubit set generates the full single-qubit Clifford group;
+// CX/CZ/SWAP provide entanglement.
+var oneQubitKinds = []circuit.Kind{
+	circuit.H, circuit.S, circuit.Sdg, circuit.X, circuit.Y, circuit.Z, circuit.SX,
+}
+
+var twoQubitKinds = []circuit.Kind{circuit.CX, circuit.CZ, circuit.SWAP}
+
+// RandomLayer appends one random Clifford layer to gates: a random
+// single-qubit Clifford on every qubit, followed by a random matching of
+// ~half the qubits with random two-qubit gates. Returns the extended slice.
+func RandomLayer(gates []circuit.Gate, n int, rng *mathx.RNG) []circuit.Gate {
+	for q := 0; q < n; q++ {
+		k := oneQubitKinds[rng.Intn(len(oneQubitKinds))]
+		gates = append(gates, circuit.Gate{Kind: k, Qubits: []int{q}})
+	}
+	perm := rng.Perm(n)
+	for i := 0; i+1 < len(perm); i += 2 {
+		k := twoQubitKinds[rng.Intn(len(twoQubitKinds))]
+		gates = append(gates, circuit.Gate{Kind: k, Qubits: []int{perm[i], perm[i+1]}})
+	}
+	return gates
+}
+
+// RandomCliffordSequence returns layers random Clifford layers over n
+// qubits as a flat gate sequence.
+func RandomCliffordSequence(n, layers int, rng *mathx.RNG) []circuit.Gate {
+	var gates []circuit.Gate
+	for l := 0; l < layers; l++ {
+		gates = RandomLayer(gates, n, rng)
+	}
+	return gates
+}
+
+// RBCircuit builds a randomized-benchmarking circuit: layers random
+// Clifford layers followed by the synthesized exact inverse, so the whole
+// sequence composes to the identity (verified on the tableau). The caller
+// typically prepends a random basis-state preparation and appends
+// measurements (see internal/algorithms.RandomizedBenchmarking).
+func RBCircuit(name string, n, layers int, rng *mathx.RNG) (*circuit.Circuit, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("clifford: width %d must be positive", n)
+	}
+	if layers < 0 {
+		return nil, fmt.Errorf("clifford: negative layer count %d", layers)
+	}
+	fwd := RandomCliffordSequence(n, layers, rng)
+	inv, err := InvertSequence(fwd)
+	if err != nil {
+		return nil, err
+	}
+	c := circuit.New(name, n)
+	for _, g := range fwd {
+		c.Append(g)
+	}
+	c.Barrier()
+	for _, g := range inv {
+		c.Append(g)
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	// Invariant: the sequence is the identity Clifford. A violation here is
+	// a bug in the tableau or the inverter, so fail loudly.
+	t, err := NewTableau(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.ApplyCircuit(c); err != nil {
+		return nil, err
+	}
+	if !t.IsIdentity() {
+		return nil, fmt.Errorf("clifford: RB circuit %q does not compose to identity", name)
+	}
+	return c, nil
+}

@@ -1,0 +1,236 @@
+// Package clifford implements a stabilizer tableau (Aaronson–Gottesman CHP
+// representation) and random-Clifford circuit generation. It is the
+// substrate for the randomized-benchmarking corpora of Fig. 4 and Fig. 6:
+// RB sequences are random Clifford layers followed by the exact inverse, so
+// the ideal output is the prepared basis state and every deviation observed
+// under noise is an error with a well-defined Hamming distance.
+package clifford
+
+import (
+	"fmt"
+
+	"qbeep/internal/circuit"
+)
+
+// Tableau tracks how a Clifford circuit conjugates the Pauli group: row i
+// (< n) is the image of X_i, row n+i the image of Z_i, each stored as
+// x/z bit vectors plus a sign bit. The identity tableau maps X_i→X_i,
+// Z_i→Z_i.
+type Tableau struct {
+	n    int
+	x    [][]bool // x[row][col]
+	z    [][]bool
+	sign []bool // true = -1 phase
+}
+
+// NewTableau returns the identity tableau on n qubits.
+func NewTableau(n int) (*Tableau, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("clifford: width %d must be positive", n)
+	}
+	t := &Tableau{
+		n:    n,
+		x:    make([][]bool, 2*n),
+		z:    make([][]bool, 2*n),
+		sign: make([]bool, 2*n),
+	}
+	for r := 0; r < 2*n; r++ {
+		t.x[r] = make([]bool, n)
+		t.z[r] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		t.x[i][i] = true
+		t.z[n+i][i] = true
+	}
+	return t, nil
+}
+
+// N returns the register width.
+func (t *Tableau) N() int { return t.n }
+
+// Clone returns a deep copy.
+func (t *Tableau) Clone() *Tableau {
+	c := &Tableau{n: t.n, x: make([][]bool, 2*t.n), z: make([][]bool, 2*t.n),
+		sign: append([]bool(nil), t.sign...)}
+	for r := range t.x {
+		c.x[r] = append([]bool(nil), t.x[r]...)
+		c.z[r] = append([]bool(nil), t.z[r]...)
+	}
+	return c
+}
+
+// IsIdentity reports whether the tableau is the identity map (all signs
+// positive).
+func (t *Tableau) IsIdentity() bool {
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			wantX := i == j
+			if t.x[i][j] != wantX || t.z[i][j] {
+				return false
+			}
+			if t.z[t.n+i][j] != wantX || t.x[t.n+i][j] {
+				return false
+			}
+		}
+	}
+	for _, s := range t.sign {
+		if s {
+			return false
+		}
+	}
+	return true
+}
+
+// applyH updates all rows for an H on qubit q: X↔Z, sign ^= x·z.
+func (t *Tableau) applyH(q int) {
+	for r := 0; r < 2*t.n; r++ {
+		if t.x[r][q] && t.z[r][q] {
+			t.sign[r] = !t.sign[r]
+		}
+		t.x[r][q], t.z[r][q] = t.z[r][q], t.x[r][q]
+	}
+}
+
+// applyS updates for S on qubit q: Z ^= X, sign ^= x·z.
+func (t *Tableau) applyS(q int) {
+	for r := 0; r < 2*t.n; r++ {
+		if t.x[r][q] && t.z[r][q] {
+			t.sign[r] = !t.sign[r]
+		}
+		t.z[r][q] = t.z[r][q] != t.x[r][q]
+	}
+}
+
+// applyX flips signs of rows anticommuting with X_q (those with z set).
+func (t *Tableau) applyX(q int) {
+	for r := 0; r < 2*t.n; r++ {
+		if t.z[r][q] {
+			t.sign[r] = !t.sign[r]
+		}
+	}
+}
+
+// applyZ flips signs of rows anticommuting with Z_q (those with x set).
+func (t *Tableau) applyZ(q int) {
+	for r := 0; r < 2*t.n; r++ {
+		if t.x[r][q] {
+			t.sign[r] = !t.sign[r]
+		}
+	}
+}
+
+// applyCX updates for CX(control c, target g):
+// x_g ^= x_c, z_c ^= z_g, sign ^= x_c z_g (x_g ^ z_c ^ 1).
+func (t *Tableau) applyCX(c, g int) {
+	for r := 0; r < 2*t.n; r++ {
+		if t.x[r][c] && t.z[r][g] && (t.x[r][g] == t.z[r][c]) {
+			t.sign[r] = !t.sign[r]
+		}
+		t.x[r][g] = t.x[r][g] != t.x[r][c]
+		t.z[r][c] = t.z[r][c] != t.z[r][g]
+	}
+}
+
+// Apply conjugates the tableau by one Clifford gate. Supported kinds: I, X,
+// Y, Z, H, S, Sdg, SX, CX, CZ, SWAP, Barrier (ignored).
+func (t *Tableau) Apply(g circuit.Gate) error {
+	if err := g.Validate(t.n); err != nil {
+		return err
+	}
+	switch g.Kind {
+	case circuit.I, circuit.Barrier:
+	case circuit.X:
+		t.applyX(g.Qubits[0])
+	case circuit.Z:
+		t.applyZ(g.Qubits[0])
+	case circuit.Y:
+		t.applyZ(g.Qubits[0])
+		t.applyX(g.Qubits[0])
+	case circuit.H:
+		t.applyH(g.Qubits[0])
+	case circuit.S:
+		t.applyS(g.Qubits[0])
+	case circuit.Sdg:
+		// Sdg = S·S·S up to global phase, which the tableau ignores.
+		t.applyS(g.Qubits[0])
+		t.applyS(g.Qubits[0])
+		t.applyS(g.Qubits[0])
+	case circuit.SX:
+		// SX = H·S·H up to global phase.
+		t.applyH(g.Qubits[0])
+		t.applyS(g.Qubits[0])
+		t.applyH(g.Qubits[0])
+	case circuit.CX:
+		t.applyCX(g.Qubits[0], g.Qubits[1])
+	case circuit.CZ:
+		// CZ = (I⊗H)·CX·(I⊗H).
+		t.applyH(g.Qubits[1])
+		t.applyCX(g.Qubits[0], g.Qubits[1])
+		t.applyH(g.Qubits[1])
+	case circuit.SWAP:
+		a, b := g.Qubits[0], g.Qubits[1]
+		t.applyCX(a, b)
+		t.applyCX(b, a)
+		t.applyCX(a, b)
+	default:
+		return fmt.Errorf("clifford: %s is not a Clifford tableau gate", g.Kind)
+	}
+	return nil
+}
+
+// ApplyCircuit applies every unitary gate of c in order.
+func (t *Tableau) ApplyCircuit(c *circuit.Circuit) error {
+	if err := c.Err(); err != nil {
+		return err
+	}
+	if c.N != t.n {
+		return fmt.Errorf("clifford: circuit width %d vs tableau %d", c.N, t.n)
+	}
+	for _, g := range c.Gates {
+		if g.Kind == circuit.Measure {
+			continue
+		}
+		if err := t.Apply(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InvertGate returns the gate sequence implementing g⁻¹ for the Clifford
+// vocabulary (up to global phase).
+func InvertGate(g circuit.Gate) ([]circuit.Gate, error) {
+	switch g.Kind {
+	case circuit.I, circuit.X, circuit.Y, circuit.Z, circuit.H,
+		circuit.CX, circuit.CZ, circuit.SWAP, circuit.Barrier:
+		return []circuit.Gate{g.Clone()}, nil
+	case circuit.S:
+		return []circuit.Gate{{Kind: circuit.Sdg, Qubits: append([]int(nil), g.Qubits...)}}, nil
+	case circuit.Sdg:
+		return []circuit.Gate{{Kind: circuit.S, Qubits: append([]int(nil), g.Qubits...)}}, nil
+	case circuit.SX:
+		// SX⁻¹ = Sdg·H·Sdg up to global phase (inverse of H·S·H).
+		q := append([]int(nil), g.Qubits...)
+		return []circuit.Gate{
+			{Kind: circuit.H, Qubits: q},
+			{Kind: circuit.Sdg, Qubits: append([]int(nil), q...)},
+			{Kind: circuit.H, Qubits: append([]int(nil), q...)},
+		}, nil
+	default:
+		return nil, fmt.Errorf("clifford: cannot invert %s", g.Kind)
+	}
+}
+
+// InvertSequence returns the exact inverse of a Clifford gate sequence:
+// each gate inverted, order reversed.
+func InvertSequence(gates []circuit.Gate) ([]circuit.Gate, error) {
+	out := make([]circuit.Gate, 0, len(gates))
+	for i := len(gates) - 1; i >= 0; i-- {
+		inv, err := InvertGate(gates[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inv...)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/mathx"
+)
+
+// The paper's conclusion names "a better λ estimation function" as the
+// main avenue for future work, and §4.2 attributes most mitigation
+// regressions to λ mis-estimation on machines whose published calibration
+// had drifted. ProbeCalibrator implements that direction: it compares
+// Eq. 2's predictions against the errors *realized* by a handful of probe
+// circuits with known outputs, fits a multiplicative correction
+//
+//	λ_corrected = α · λ_eq2
+//
+// by least squares through the origin, and applies it to subsequent
+// estimates. Probes are cheap single-answer circuits (the RB workloads of
+// internal/algorithms are ideal) run on the same backend shortly before
+// the production job.
+//
+// The correction transfers best within a circuit family and depth regime:
+// deep probes whose outputs approach the maximally-mixed state saturate
+// (EHD caps near n/2 regardless of λ), which biases α low for shallow
+// production circuits. Probe with depths bracketing the production
+// workload's.
+
+// ProbeResult is one probe circuit's evidence: the Eq. 2 estimate and the
+// realized expected Hamming distance of its output around the known
+// answer (which, under the Poisson error model, estimates the true λ).
+type ProbeResult struct {
+	EstimatedLambda float64
+	RealizedEHD     float64
+}
+
+// ProbeResultFrom scores one probe induction.
+func ProbeResultFrom(est LambdaBreakdown, counts *bitstring.Dist, expected bitstring.BitString) (ProbeResult, error) {
+	if counts == nil || counts.Total() == 0 {
+		return ProbeResult{}, fmt.Errorf("core: empty probe counts")
+	}
+	return ProbeResult{
+		EstimatedLambda: est.Lambda(),
+		RealizedEHD:     counts.ExpectedHamming(expected),
+	}, nil
+}
+
+// ProbeCalibrator holds the fitted correction.
+type ProbeCalibrator struct {
+	Alpha  float64 // λ_corrected = Alpha · λ_eq2
+	Probes int
+}
+
+// FitProbeCalibrator fits α by least squares through the origin:
+// α = Σ λ̂·EHD / Σ λ̂². At least two probes with positive estimates are
+// required.
+func FitProbeCalibrator(probes []ProbeResult) (*ProbeCalibrator, error) {
+	var num, den float64
+	n := 0
+	for _, p := range probes {
+		if p.EstimatedLambda <= 0 {
+			continue
+		}
+		num += p.EstimatedLambda * p.RealizedEHD
+		den += p.EstimatedLambda * p.EstimatedLambda
+		n++
+	}
+	if n < 2 || den == 0 {
+		return nil, fmt.Errorf("core: need >= 2 usable probes, got %d", n)
+	}
+	alpha := num / den
+	if alpha <= 0 {
+		return nil, fmt.Errorf("core: degenerate probe fit (alpha %v)", alpha)
+	}
+	return &ProbeCalibrator{Alpha: alpha, Probes: n}, nil
+}
+
+// Correct applies the fitted correction to an Eq. 2 estimate.
+func (p *ProbeCalibrator) Correct(est LambdaBreakdown) float64 {
+	return p.Alpha * est.Lambda()
+}
+
+// Quality summarizes how well the corrected estimates match the realized
+// EHDs on the probes themselves (root-mean-square error before and after
+// correction). It quantifies whether probing helped.
+func (p *ProbeCalibrator) Quality(probes []ProbeResult) (rmseBefore, rmseAfter float64) {
+	var sb, sa []float64
+	for _, pr := range probes {
+		if pr.EstimatedLambda <= 0 {
+			continue
+		}
+		db := pr.EstimatedLambda - pr.RealizedEHD
+		da := p.Alpha*pr.EstimatedLambda - pr.RealizedEHD
+		sb = append(sb, db*db)
+		sa = append(sa, da*da)
+	}
+	return sqrt(mathx.Mean(sb)), sqrt(mathx.Mean(sa))
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"qbeep/internal/bitstring"
+)
+
+// Options configures the iterative mitigation. NewOptions returns the
+// paper's published configuration (§4.1): ε = 0.05, 20 iterations,
+// learning rate 1/n.
+type Options struct {
+	// Iterations is the number of state-graph update rounds.
+	Iterations int
+	// Epsilon is the edge-weight threshold ε; edges with model weight
+	// below it are not materialized.
+	Epsilon float64
+	// LearningRate returns η for iteration i (1-based). The default is the
+	// dampened 1/i schedule that prevents cycling between local nodes.
+	LearningRate func(i int) float64
+	// Weighter is the edge model; nil selects PoissonEdges with the λ
+	// passed to Mitigate.
+	Weighter EdgeWeighter
+}
+
+// NewOptions returns the paper's default configuration.
+func NewOptions() Options {
+	return Options{
+		Iterations:   20,
+		Epsilon:      0.05,
+		LearningRate: func(i int) float64 { return 1 / float64(i) },
+	}
+}
+
+func (o *Options) validate() error {
+	if o.Iterations <= 0 {
+		return fmt.Errorf("core: iterations %d must be positive", o.Iterations)
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("core: epsilon %v outside (0,1)", o.Epsilon)
+	}
+	return nil
+}
+
+// Mitigate runs Q-BEEP over raw counts with the pre-induction rate λ and
+// returns the mitigated distribution (same total mass, re-normalized).
+func Mitigate(counts *bitstring.Dist, lambda float64, opts Options) (*bitstring.Dist, error) {
+	out, _, err := mitigate(counts, lambda, opts, nil)
+	return out, err
+}
+
+// MitigateTracked is Mitigate plus the per-iteration fidelity trace
+// against the supplied ideal distribution (Fig. 7(c)). trace[0] is the
+// pre-mitigation fidelity; trace[i] the fidelity after iteration i.
+func MitigateTracked(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitstring.Dist) (*bitstring.Dist, []float64, error) {
+	if ideal == nil {
+		return nil, nil, fmt.Errorf("core: MitigateTracked requires an ideal distribution")
+	}
+	return mitigate(counts, lambda, opts, ideal)
+}
+
+func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitstring.Dist) (*bitstring.Dist, []float64, error) {
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if counts == nil || counts.Support() == 0 {
+		return nil, nil, fmt.Errorf("core: empty counts")
+	}
+	if lambda < 0 {
+		return nil, nil, fmt.Errorf("core: negative lambda %v", lambda)
+	}
+	if opts.LearningRate == nil {
+		opts.LearningRate = func(i int) float64 { return 1 / float64(i) }
+	}
+	w := opts.Weighter
+	if w == nil {
+		w = PoissonEdges{Lambda: lambda}
+	}
+	g, err := BuildStateGraph(counts, w, opts.Epsilon)
+	if err != nil {
+		return nil, nil, err
+	}
+	var trace []float64
+	if ideal != nil {
+		trace = append(trace, bitstring.Fidelity(ideal, counts))
+	}
+	for i := 1; i <= opts.Iterations; i++ {
+		g.Step(opts.LearningRate(i))
+		if ideal != nil {
+			trace = append(trace, bitstring.Fidelity(ideal, g.Dist()))
+		}
+	}
+	out := g.Dist().Normalized(counts.Total())
+	return out, trace, nil
+}

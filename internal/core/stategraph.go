@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/mathx"
+)
+
+// EdgeWeighter maps a Hamming distance to a reclassification weight. The
+// production model is PoissonEdges (Eq. 4); InverseDistanceEdges reproduces
+// HAMMER's fixed local weighting inside the same iterative engine, used by
+// the edge-model ablation.
+type EdgeWeighter interface {
+	// Weight returns the edge weight for two strings at Hamming distance
+	// d >= 1. Weights below the state-graph threshold ε prune the edge.
+	Weight(d int) float64
+	// MaxRadius returns the largest distance worth considering for the
+	// threshold eps (edges beyond it are guaranteed below threshold).
+	MaxRadius(eps float64, n int) int
+}
+
+// PoissonEdges weighs edges by the Poisson pmf at the strings' Hamming
+// distance, with rate λ estimated pre-induction via Eq. 2.
+type PoissonEdges struct {
+	Lambda float64
+}
+
+// Weight implements EdgeWeighter.
+func (p PoissonEdges) Weight(d int) float64 {
+	return mathx.Poisson{Lambda: p.Lambda}.PMF(d)
+}
+
+// MaxRadius implements EdgeWeighter via the Poisson tail cutoff.
+func (p PoissonEdges) MaxRadius(eps float64, n int) int {
+	r := mathx.Poisson{Lambda: p.Lambda}.TailCutoff(eps)
+	if r > n {
+		return n
+	}
+	return r
+}
+
+// InverseDistanceEdges is the HAMMER-style one-size-fits-all local
+// weighting: weight 2^(-d) truncated at MaxD (HAMMER's published
+// neighborhood stops at the second Hamming shell), independent of circuit
+// and device. A zero MaxD selects the default of 2.
+type InverseDistanceEdges struct {
+	MaxD int
+}
+
+func (w InverseDistanceEdges) maxD() int {
+	if w.MaxD <= 0 {
+		return 2
+	}
+	return w.MaxD
+}
+
+// Weight implements EdgeWeighter.
+func (w InverseDistanceEdges) Weight(d int) float64 {
+	if d < 0 || d > w.maxD() {
+		return 0
+	}
+	v := 1.0
+	for i := 0; i < d; i++ {
+		v /= 2
+	}
+	return v
+}
+
+// MaxRadius implements EdgeWeighter.
+func (w InverseDistanceEdges) MaxRadius(eps float64, n int) int {
+	for d := 1; d <= n; d++ {
+		if w.Weight(d) < eps {
+			return d
+		}
+	}
+	return n
+}
+
+// node is one state-graph vertex: an observed bit-string with its
+// (fractional) observation count. Probabilities derive from counts on
+// demand.
+type node struct {
+	value bitstring.BitString
+	count float64
+}
+
+// edge connects two vertices with the model weight of their distance.
+type edge struct {
+	a, b   int // node indices
+	weight float64
+}
+
+// StateGraph is the Bayesian network over observed bit-strings (paper
+// §3.4, Fig. 5): vertices are the observed outcomes, edges link pairs whose
+// model weight passes the ε threshold.
+type StateGraph struct {
+	n          int // register width
+	nodes      []node
+	edges      []edge
+	adj        [][]int // node index -> incident edge indices
+	total      float64
+	radius     int
+	selfWeight float64 // model weight at distance 0 (the "stay" term)
+}
+
+// BuildStateGraph constructs the graph from raw counts under the given
+// edge model and threshold. Vertices are created only for observed
+// (non-zero) outcomes, so the graph scales with shots, not with 2^n.
+func BuildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*StateGraph, error) {
+	if counts == nil || counts.Support() == 0 {
+		return nil, fmt.Errorf("core: empty counts")
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: epsilon %v outside (0,1)", eps)
+	}
+	if w == nil {
+		return nil, fmt.Errorf("core: nil edge weighter")
+	}
+	g := &StateGraph{n: counts.Width(), total: counts.Total(), selfWeight: w.Weight(0)}
+	outcomes := counts.Outcomes()
+	g.nodes = make([]node, len(outcomes))
+	for i, o := range outcomes {
+		g.nodes[i] = node{value: o, count: counts.Count(o)}
+	}
+	g.adj = make([][]int, len(g.nodes))
+	g.radius = w.MaxRadius(eps, g.n)
+
+	// Pairwise scan: O(V²) Hamming checks. V is bounded by the shot count,
+	// giving the O(N·r) per-update complexity the paper quotes once edges
+	// are materialized.
+	//
+	// Edge creation is thresholded on the model's shell mass w(d) >= ε
+	// (the paper's scalability rule), but the stored weight is the
+	// per-string likelihood w(d)/C(n,d): the model assigns mass w(d) to
+	// the whole distance-d shell, and an individual string is one of
+	// C(n,d) equally-likely landing sites. Without this normalization the
+	// combinatorially-large middle shells would out-pull the true
+	// solution.
+	for i := 0; i < len(g.nodes); i++ {
+		for j := i + 1; j < len(g.nodes); j++ {
+			d := bitstring.Hamming(g.nodes[i].value, g.nodes[j].value)
+			if d > g.radius {
+				continue
+			}
+			wt := w.Weight(d)
+			if wt < eps {
+				continue
+			}
+			perString := wt / float64(bitstring.SphereSize(g.n, d))
+			g.edges = append(g.edges, edge{a: i, b: j, weight: perString})
+			g.adj[i] = append(g.adj[i], len(g.edges)-1)
+			g.adj[j] = append(g.adj[j], len(g.edges)-1)
+		}
+	}
+	return g, nil
+}
+
+// NumVertices returns the vertex count.
+func (g *StateGraph) NumVertices() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *StateGraph) NumEdges() int { return len(g.edges) }
+
+// Radius returns the maximum Hamming distance spanned by edges.
+func (g *StateGraph) Radius() int { return g.radius }
+
+// Dist snapshots the current vertex counts as a distribution.
+func (g *StateGraph) Dist() *bitstring.Dist {
+	d := bitstring.NewDist(g.n)
+	for _, nd := range g.nodes {
+		if nd.count > 0 {
+			d.Add(nd.value, nd.count)
+		}
+	}
+	return d
+}
+
+// Step performs one reclassification iteration with learning rate eta
+// (paper Algorithm 1, inner loop). Each node redistributes its counts
+// according to the normalized Bayesian posterior of Eq. 4: an observation
+// of A belongs to neighbor B with probability
+//
+//	P(A→B) = w_AB·P_B / (w_0·P_A + Σ_C w_AC·P_C)
+//
+// where w_0 is the model weight at distance 0 — the "observation is
+// genuine" hypothesis — and the denominator normalizes the posterior over
+// all hypotheses for node A. The learning rate scales the moved fraction
+// (paper: η = 1/iteration to prevent cycling between local nodes); the
+// reclassification-overflow cap of Algorithm 1 guards η > 1 ablations.
+//
+// This posterior form is what makes the fixed point entropy-aware: on a
+// balanced (high-entropy) distribution the in/out flows cancel and the
+// distribution is left alone, while a small error node adjacent to a
+// dominant string hands essentially all of its counts over — the behavior
+// §5 of the paper describes.
+func (g *StateGraph) Step(eta float64) {
+	if g.total <= 0 {
+		return
+	}
+	nV := len(g.nodes)
+	prob := make([]float64, nV)
+	for i, nd := range g.nodes {
+		prob[i] = nd.count / g.total
+	}
+	// Posterior normalizer per node: Z_A = w_0·P_A + Σ w_AC·P_C.
+	z := make([]float64, nV)
+	for i := range z {
+		z[i] = g.selfWeight * prob[i]
+	}
+	for _, e := range g.edges {
+		z[e.a] += e.weight * prob[e.b]
+		z[e.b] += e.weight * prob[e.a]
+	}
+	outflow := make([]float64, nV)
+	inflow := make([]float64, nV)
+	flowAB := make([]float64, len(g.edges))
+	flowBA := make([]float64, len(g.edges))
+	for ei, e := range g.edges {
+		if z[e.a] > 0 {
+			f := eta * g.nodes[e.a].count * e.weight * prob[e.b] / z[e.a]
+			flowAB[ei] = f
+			outflow[e.a] += f
+			inflow[e.b] += f
+		}
+		if z[e.b] > 0 {
+			f := eta * g.nodes[e.b].count * e.weight * prob[e.a] / z[e.b]
+			flowBA[ei] = f
+			outflow[e.b] += f
+			inflow[e.a] += f
+		}
+	}
+	// Reclassification overflow: cap outflow at count + inflow (paper
+	// Algorithm 1). With eta <= 1 the posterior normalization already
+	// keeps outflow <= count, so the cap only binds in ablations.
+	scale := make([]float64, nV)
+	for i := range scale {
+		scale[i] = 1
+		if limit := g.nodes[i].count + inflow[i]; outflow[i] > limit && outflow[i] > 0 {
+			scale[i] = limit / outflow[i]
+		}
+	}
+	delta := make([]float64, nV)
+	for ei, e := range g.edges {
+		fab := flowAB[ei] * scale[e.a]
+		fba := flowBA[ei] * scale[e.b]
+		delta[e.a] += fba - fab
+		delta[e.b] += fab - fba
+	}
+	g.total = 0
+	for i := range g.nodes {
+		c := g.nodes[i].count + delta[i]
+		if c < 0 {
+			c = 0
+		}
+		g.nodes[i].count = c
+		g.total += c
+	}
+}
+
+// Vertices returns the observed strings sorted ascending (testing/debug).
+func (g *StateGraph) Vertices() []bitstring.BitString {
+	out := make([]bitstring.BitString, len(g.nodes))
+	for i, nd := range g.nodes {
+		out[i] = nd.value
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,72 @@
+package densitymatrix
+
+import "math"
+
+// The standard single-qubit noise channels as Kraus sets. Parameters are
+// probabilities/rates in [0, 1].
+
+// Depolarizing returns the channel ρ → (1-p)ρ + p·I/2, in Kraus form
+// {√(1-3p/4)·I, √(p/4)·X, √(p/4)·Y, √(p/4)·Z}.
+func Depolarizing(p float64) []Matrix2 {
+	p = clamp01(p)
+	s0 := complex(math.Sqrt(1-3*p/4), 0)
+	sp := complex(math.Sqrt(p/4), 0)
+	return []Matrix2{
+		{{s0, 0}, {0, s0}},
+		{{0, sp}, {sp, 0}},
+		{{0, -1i * sp}, {1i * sp, 0}},
+		{{sp, 0}, {0, -sp}},
+	}
+}
+
+// BitFlip returns ρ → (1-p)ρ + p XρX.
+func BitFlip(p float64) []Matrix2 {
+	p = clamp01(p)
+	s0 := complex(math.Sqrt(1-p), 0)
+	s1 := complex(math.Sqrt(p), 0)
+	return []Matrix2{
+		{{s0, 0}, {0, s0}},
+		{{0, s1}, {s1, 0}},
+	}
+}
+
+// PhaseFlip returns ρ → (1-p)ρ + p ZρZ.
+func PhaseFlip(p float64) []Matrix2 {
+	p = clamp01(p)
+	s0 := complex(math.Sqrt(1-p), 0)
+	s1 := complex(math.Sqrt(p), 0)
+	return []Matrix2{
+		{{s0, 0}, {0, s0}},
+		{{s1, 0}, {0, -s1}},
+	}
+}
+
+// AmplitudeDamping returns the T1 decay channel with decay probability
+// gamma: K0 = [[1,0],[0,√(1-γ)]], K1 = [[0,√γ],[0,0]].
+func AmplitudeDamping(gamma float64) []Matrix2 {
+	gamma = clamp01(gamma)
+	return []Matrix2{
+		{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}},
+		{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}},
+	}
+}
+
+// PhaseDamping returns the pure-dephasing channel with parameter lambda:
+// off-diagonals decay by √(1-λ).
+func PhaseDamping(lambda float64) []Matrix2 {
+	lambda = clamp01(lambda)
+	return []Matrix2{
+		{{1, 0}, {0, complex(math.Sqrt(1-lambda), 0)}},
+		{{0, 0}, {0, complex(math.Sqrt(lambda), 0)}},
+	}
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

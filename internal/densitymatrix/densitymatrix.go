@@ -1,0 +1,345 @@
+// Package densitymatrix implements an exact mixed-state simulator: the
+// n-qubit density matrix evolved by unitary gates and Kraus noise
+// channels. It is the ground-truth reference for the fast failure-event
+// executor in internal/noise — exponentially more expensive (4^n complex
+// entries), so it is used for validation at small widths, not for the
+// evaluation corpora.
+package densitymatrix
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/circuit"
+)
+
+// MaxQubits bounds the register width (4^10 = ~1M complex entries).
+const MaxQubits = 10
+
+// Matrix2 is a single-qubit operator.
+type Matrix2 [2][2]complex128
+
+// Dagger returns the conjugate transpose.
+func (m Matrix2) Dagger() Matrix2 {
+	return Matrix2{
+		{cmplx.Conj(m[0][0]), cmplx.Conj(m[1][0])},
+		{cmplx.Conj(m[0][1]), cmplx.Conj(m[1][1])},
+	}
+}
+
+// Density is the n-qubit density matrix ρ with qubit 0 the
+// least-significant index bit of both row and column.
+type Density struct {
+	n   int
+	dim int
+	rho []complex128 // row-major dim×dim
+}
+
+// New returns ρ = |0...0⟩⟨0...0|.
+func New(n int) (*Density, error) {
+	return NewBasis(n, 0)
+}
+
+// NewBasis returns ρ = |b⟩⟨b|.
+func NewBasis(n int, b bitstring.BitString) (*Density, error) {
+	if n <= 0 || n > MaxQubits {
+		return nil, fmt.Errorf("densitymatrix: width %d outside (0,%d]", n, MaxQubits)
+	}
+	dim := 1 << uint(n)
+	if uint64(b) >= uint64(dim) {
+		return nil, fmt.Errorf("densitymatrix: basis %d outside %d-qubit register", b, n)
+	}
+	d := &Density{n: n, dim: dim, rho: make([]complex128, dim*dim)}
+	d.rho[int(b)*dim+int(b)] = 1
+	return d, nil
+}
+
+// N returns the register width.
+func (d *Density) N() int { return d.n }
+
+// At returns ρ[r][c].
+func (d *Density) At(r, c int) complex128 { return d.rho[r*d.dim+c] }
+
+// Trace returns tr(ρ) (1 for a valid state).
+func (d *Density) Trace() complex128 {
+	var t complex128
+	for i := 0; i < d.dim; i++ {
+		t += d.rho[i*d.dim+i]
+	}
+	return t
+}
+
+// Purity returns tr(ρ²): 1 for pure states, 1/2^n for maximally mixed.
+func (d *Density) Purity() float64 {
+	var p complex128
+	for r := 0; r < d.dim; r++ {
+		for c := 0; c < d.dim; c++ {
+			p += d.rho[r*d.dim+c] * d.rho[c*d.dim+r]
+		}
+	}
+	return real(p)
+}
+
+// Prob returns the measurement probability of basis state b, ⟨b|ρ|b⟩.
+func (d *Density) Prob(b bitstring.BitString) float64 {
+	return real(d.rho[int(b)*d.dim+int(b)])
+}
+
+// Dist returns the diagonal as a probability distribution.
+func (d *Density) Dist() *bitstring.Dist {
+	out := bitstring.NewDist(d.n)
+	for i := 0; i < d.dim; i++ {
+		p := real(d.rho[i*d.dim+i])
+		if p > 1e-14 {
+			out.Add(bitstring.BitString(i), p)
+		}
+	}
+	return out
+}
+
+// apply1 applies ρ → Σ_k K_k ρ K_k† for single-qubit Kraus operators on
+// qubit q. A unitary is the single-element channel {U}.
+func (d *Density) apply1(q int, kraus []Matrix2) {
+	mask := 1 << uint(q)
+	next := make([]complex128, len(d.rho))
+	for _, k := range kraus {
+		kd := k.Dagger()
+		// For each (row, col) pair, the qubit-q bits of row and col select
+		// which K and K† entries mix. Process rows first (K ρ), then
+		// columns (· K†) in one fused pass over pair blocks.
+		for r0 := 0; r0 < d.dim; r0++ {
+			if r0&mask != 0 {
+				continue
+			}
+			r1 := r0 | mask
+			for c0 := 0; c0 < d.dim; c0++ {
+				if c0&mask != 0 {
+					continue
+				}
+				c1 := c0 | mask
+				// 2x2 block of ρ in (r, c) qubit-q space.
+				p00 := d.rho[r0*d.dim+c0]
+				p01 := d.rho[r0*d.dim+c1]
+				p10 := d.rho[r1*d.dim+c0]
+				p11 := d.rho[r1*d.dim+c1]
+				// K ρ K† on the block.
+				a00 := k[0][0]*p00 + k[0][1]*p10
+				a01 := k[0][0]*p01 + k[0][1]*p11
+				a10 := k[1][0]*p00 + k[1][1]*p10
+				a11 := k[1][0]*p01 + k[1][1]*p11
+				next[r0*d.dim+c0] += a00*kd[0][0] + a01*kd[1][0]
+				next[r0*d.dim+c1] += a00*kd[0][1] + a01*kd[1][1]
+				next[r1*d.dim+c0] += a10*kd[0][0] + a11*kd[1][0]
+				next[r1*d.dim+c1] += a10*kd[0][1] + a11*kd[1][1]
+			}
+		}
+	}
+	d.rho = next
+}
+
+// applyCX applies the CNOT unitary (a permutation: conjugating ρ by the
+// permutation matrix permutes rows and columns).
+func (d *Density) applyCX(ctrl, tgt int) {
+	cm := 1 << uint(ctrl)
+	tm := 1 << uint(tgt)
+	perm := func(i int) int {
+		if i&cm != 0 {
+			return i ^ tm
+		}
+		return i
+	}
+	next := make([]complex128, len(d.rho))
+	for r := 0; r < d.dim; r++ {
+		pr := perm(r)
+		for c := 0; c < d.dim; c++ {
+			next[pr*d.dim+perm(c)] = d.rho[r*d.dim+c]
+		}
+	}
+	d.rho = next
+}
+
+// applyCZ applies the CZ unitary (diagonal ±1 phases).
+func (d *Density) applyCZ(a, b int) {
+	am := 1 << uint(a)
+	bm := 1 << uint(b)
+	sign := func(i int) float64 {
+		if i&am != 0 && i&bm != 0 {
+			return -1
+		}
+		return 1
+	}
+	for r := 0; r < d.dim; r++ {
+		sr := sign(r)
+		for c := 0; c < d.dim; c++ {
+			d.rho[r*d.dim+c] *= complex(sr*sign(c), 0)
+		}
+	}
+}
+
+const invSqrt2 = 0.7071067811865476
+
+func gateMatrix(g circuit.Gate) (Matrix2, bool) {
+	switch g.Kind {
+	case circuit.I:
+		return Matrix2{{1, 0}, {0, 1}}, true
+	case circuit.X:
+		return Matrix2{{0, 1}, {1, 0}}, true
+	case circuit.Y:
+		return Matrix2{{0, -1i}, {1i, 0}}, true
+	case circuit.Z:
+		return Matrix2{{1, 0}, {0, -1}}, true
+	case circuit.H:
+		return Matrix2{{invSqrt2, invSqrt2}, {invSqrt2, -invSqrt2}}, true
+	case circuit.S:
+		return Matrix2{{1, 0}, {0, 1i}}, true
+	case circuit.Sdg:
+		return Matrix2{{1, 0}, {0, -1i}}, true
+	case circuit.T:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}}, true
+	case circuit.Tdg:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(-1i * math.Pi / 4)}}, true
+	case circuit.SX:
+		return Matrix2{
+			{complex(0.5, 0.5), complex(0.5, -0.5)},
+			{complex(0.5, -0.5), complex(0.5, 0.5)}}, true
+	case circuit.RX:
+		c, s := math.Cos(g.Params[0]/2), math.Sin(g.Params[0]/2)
+		return Matrix2{
+			{complex(c, 0), complex(0, -s)},
+			{complex(0, -s), complex(c, 0)}}, true
+	case circuit.RY:
+		c, s := math.Cos(g.Params[0]/2), math.Sin(g.Params[0]/2)
+		return Matrix2{
+			{complex(c, 0), complex(-s, 0)},
+			{complex(s, 0), complex(c, 0)}}, true
+	case circuit.RZ:
+		return Matrix2{
+			{cmplx.Exp(complex(0, -g.Params[0]/2)), 0},
+			{0, cmplx.Exp(complex(0, g.Params[0]/2))}}, true
+	case circuit.U3:
+		th, ph, la := g.Params[0], g.Params[1], g.Params[2]
+		ct, st := math.Cos(th/2), math.Sin(th/2)
+		return Matrix2{
+			{complex(ct, 0), -cmplx.Exp(complex(0, la)) * complex(st, 0)},
+			{cmplx.Exp(complex(0, ph)) * complex(st, 0),
+				cmplx.Exp(complex(0, ph+la)) * complex(ct, 0)}}, true
+	default:
+		return Matrix2{}, false
+	}
+}
+
+// Apply applies one unitary gate to ρ.
+func (d *Density) Apply(g circuit.Gate) error {
+	if err := g.Validate(d.n); err != nil {
+		return err
+	}
+	switch g.Kind {
+	case circuit.Measure, circuit.Barrier:
+		return nil
+	case circuit.CX:
+		d.applyCX(g.Qubits[0], g.Qubits[1])
+		return nil
+	case circuit.CZ:
+		d.applyCZ(g.Qubits[0], g.Qubits[1])
+		return nil
+	case circuit.SWAP:
+		d.applyCX(g.Qubits[0], g.Qubits[1])
+		d.applyCX(g.Qubits[1], g.Qubits[0])
+		d.applyCX(g.Qubits[0], g.Qubits[1])
+		return nil
+	case circuit.CCX:
+		// CCX as controlled-controlled permutation.
+		c1 := 1 << uint(g.Qubits[0])
+		c2 := 1 << uint(g.Qubits[1])
+		tm := 1 << uint(g.Qubits[2])
+		perm := func(i int) int {
+			if i&c1 != 0 && i&c2 != 0 {
+				return i ^ tm
+			}
+			return i
+		}
+		next := make([]complex128, len(d.rho))
+		for r := 0; r < d.dim; r++ {
+			pr := perm(r)
+			for c := 0; c < d.dim; c++ {
+				next[pr*d.dim+perm(c)] = d.rho[r*d.dim+c]
+			}
+		}
+		d.rho = next
+		return nil
+	case circuit.CSWAP:
+		cm := 1 << uint(g.Qubits[0])
+		am := 1 << uint(g.Qubits[1])
+		bm := 1 << uint(g.Qubits[2])
+		perm := func(i int) int {
+			if i&cm == 0 {
+				return i
+			}
+			ab := i & am >> uint(g.Qubits[1])
+			bb := i & bm >> uint(g.Qubits[2])
+			if ab == bb {
+				return i
+			}
+			return i ^ am ^ bm
+		}
+		next := make([]complex128, len(d.rho))
+		for r := 0; r < d.dim; r++ {
+			pr := perm(r)
+			for c := 0; c < d.dim; c++ {
+				next[pr*d.dim+perm(c)] = d.rho[r*d.dim+c]
+			}
+		}
+		d.rho = next
+		return nil
+	default:
+		m, ok := gateMatrix(g)
+		if !ok {
+			return fmt.Errorf("densitymatrix: unsupported gate %s", g.Kind)
+		}
+		d.apply1(g.Qubits[0], []Matrix2{m})
+		return nil
+	}
+}
+
+// Channel applies a single-qubit Kraus channel to qubit q. The operators
+// must satisfy Σ K†K = I (checked to a tolerance).
+func (d *Density) Channel(q int, kraus []Matrix2) error {
+	if q < 0 || q >= d.n {
+		return fmt.Errorf("densitymatrix: qubit %d outside [0,%d)", q, d.n)
+	}
+	if err := ValidateKraus(kraus); err != nil {
+		return err
+	}
+	d.apply1(q, kraus)
+	return nil
+}
+
+// ValidateKraus checks the completeness relation Σ K†K = I.
+func ValidateKraus(kraus []Matrix2) error {
+	if len(kraus) == 0 {
+		return fmt.Errorf("densitymatrix: empty Kraus set")
+	}
+	var sum Matrix2
+	for _, k := range kraus {
+		kd := k.Dagger()
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				sum[r][c] += kd[r][0]*k[0][c] + kd[r][1]*k[1][c]
+			}
+		}
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			want := complex128(0)
+			if r == c {
+				want = 1
+			}
+			if cmplx.Abs(sum[r][c]-want) > 1e-9 {
+				return fmt.Errorf("densitymatrix: Kraus completeness violated at (%d,%d): %v", r, c, sum[r][c])
+			}
+		}
+	}
+	return nil
+}

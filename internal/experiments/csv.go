@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The WriteCSV methods dump each figure's raw series in a plot-ready
+// shape (one row per sample), so the tables printed to the console can be
+// regenerated as actual figures by any plotting tool.
+
+func writeRows(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteCSV dumps the spectrum rows (Fig. 1(a)/Fig. 2 panels).
+func (s *SpectrumResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(s.Rows))
+	for _, r := range s.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(s.Qubits), s.Backend, f2s(s.Lambda),
+			strconv.Itoa(r.Distance), f2s(r.Observed), f2s(r.QBeep), f2s(r.Hammer),
+		})
+	}
+	return writeRows(w, []string{"qubits", "backend", "lambda", "distance", "observed", "qbeep", "hammer"}, rows)
+}
+
+// WriteCSV dumps the RB points of both architectures (Fig. 4).
+func (r *Figure4Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	add := func(arch string, pts []RBPoint) {
+		for _, p := range pts {
+			if !p.IoDValid {
+				continue
+			}
+			rows = append(rows, []string{
+				arch, p.Backend, strconv.Itoa(p.GateCount), f2s(p.EHD), f2s(p.IoD),
+			})
+		}
+	}
+	add("superconducting", r.Superconducting)
+	add("trapped-ion", r.TrappedIon)
+	return writeRows(w, []string{"architecture", "backend", "gates", "ehd", "iod"}, rows)
+}
+
+// WriteCSV dumps the per-circuit model distances (Fig. 6).
+func (r *Figure6Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rows = append(rows, []string{
+			s.Circuit, s.Backend, f2s(s.QBeep), f2s(s.MLEPoisson),
+			f2s(s.MLEBinomial), f2s(s.Uniform), f2s(s.Hammer),
+		})
+	}
+	return writeRows(w, []string{"circuit", "backend", "qbeep", "mle_poisson", "mle_binomial", "uniform", "hammer"}, rows)
+}
+
+// WriteCSV dumps the per-circuit BV cases (Fig. 7).
+func (r *Figure7Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Cases))
+	for _, c := range r.Cases {
+		rows = append(rows, []string{
+			strconv.Itoa(c.Qubits), c.Backend, c.Secret,
+			f2s(c.PSTRaw), f2s(c.PSTQBeep), f2s(c.PSTHammer),
+			f2s(c.FidRaw), f2s(c.FidQBeep), f2s(c.FidHammer),
+		})
+	}
+	return writeRows(w, []string{
+		"qubits", "backend", "circuit",
+		"pst_raw", "pst_qbeep", "pst_hammer",
+		"fid_raw", "fid_qbeep", "fid_hammer",
+	}, rows)
+}
+
+// WriteCSV dumps the per-cell suite results (Figs. 8/9/11).
+func (r *QASMBenchResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Algorithm, c.Backend, f2s(c.FidRaw), f2s(c.FidQBeep), f2s(c.Ratio), f2s(c.Entropy),
+		})
+	}
+	return writeRows(w, []string{"algorithm", "backend", "fid_raw", "fid_qbeep", "ratio", "entropy"}, rows)
+}
+
+// WriteCSV dumps the per-solution QAOA cases (Fig. 10).
+func (r *Figure10Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Cases))
+	for _, c := range r.Cases {
+		rows = append(rows, []string{
+			strconv.Itoa(c.Vertices), strconv.Itoa(c.P), c.Backend,
+			f2s(c.CRRaw), f2s(c.CRQBeep), f2s(c.Ratio), f2s(c.Lambda),
+		})
+	}
+	return writeRows(w, []string{"vertices", "p", "backend", "cr_raw", "cr_qbeep", "ratio", "lambda"}, rows)
+}
+
+// CSVName returns the conventional file name for a figure's CSV dump.
+func CSVName(figure string) string {
+	return fmt.Sprintf("figure%s.csv", figure)
+}

@@ -1,0 +1,115 @@
+package hammer
+
+import (
+	"math"
+	"testing"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/mathx"
+)
+
+func TestMitigateValidation(t *testing.T) {
+	if _, err := Mitigate(nil, NewOptions()); err == nil {
+		t.Error("nil counts should error")
+	}
+	if _, err := Mitigate(bitstring.NewDist(3), NewOptions()); err == nil {
+		t.Error("empty counts should error")
+	}
+	d := bitstring.NewDist(3)
+	d.Add(0, 1)
+	if _, err := Mitigate(d, Options{MaxDistance: 0, Decay: 0.5}); err == nil {
+		t.Error("zero distance should error")
+	}
+	if _, err := Mitigate(d, Options{MaxDistance: 2, Decay: 0}); err == nil {
+		t.Error("zero decay should error")
+	}
+	if _, err := Mitigate(d, Options{MaxDistance: 2, Decay: 1.5}); err == nil {
+		t.Error("decay > 1 should error")
+	}
+}
+
+func TestMitigateAmplifiesSupportedStrings(t *testing.T) {
+	// 0000 has many near neighbors observed; 1111 is isolated. HAMMER
+	// should boost 0000 relative to 1111.
+	d := bitstring.NewDist(4)
+	d.Add(0b0000, 40)
+	d.Add(0b0001, 20)
+	d.Add(0b0010, 20)
+	d.Add(0b1111, 40)
+	out, err := Mitigate(d, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeRatio := d.Prob(0b0000) / d.Prob(0b1111)
+	afterRatio := out.Prob(0b0000) / out.Prob(0b1111)
+	if afterRatio <= beforeRatio {
+		t.Errorf("supported string should gain: ratio %v -> %v", beforeRatio, afterRatio)
+	}
+}
+
+func TestMitigatePreservesTotal(t *testing.T) {
+	d := bitstring.NewDist(4)
+	d.Add(0b0000, 10)
+	d.Add(0b0011, 30)
+	d.Add(0b1100, 60)
+	out, err := Mitigate(d, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Total()-d.Total()) > 1e-9 {
+		t.Errorf("total %v -> %v", d.Total(), out.Total())
+	}
+}
+
+func TestMitigateLocalClusterCase(t *testing.T) {
+	// HAMMER's home turf: errors at distance 1 from the truth.
+	const n = 6
+	truth := bitstring.BitString(0b101101)
+	rng := mathx.NewRNG(3)
+	raw := bitstring.NewDist(n)
+	raw.Add(truth, 500)
+	for i := 0; i < 500; i++ {
+		raw.Add(truth.FlipBit(rng.Intn(n)), 1)
+	}
+	ideal := bitstring.NewDist(n)
+	ideal.Add(truth, 1)
+	out, err := Mitigate(raw, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitstring.Fidelity(ideal, out) <= bitstring.Fidelity(ideal, raw) {
+		t.Error("HAMMER should improve locally-clustered errors")
+	}
+}
+
+func TestSpectrumWeights(t *testing.T) {
+	w := SpectrumWeights(5, NewOptions())
+	if len(w) != 6 {
+		t.Fatalf("length %d", len(w))
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	if !(w[0] > w[1] && w[1] > w[2]) {
+		t.Errorf("weights should decay: %v", w)
+	}
+	if w[3] != 0 || w[5] != 0 {
+		t.Errorf("weights beyond MaxDistance should be zero: %v", w)
+	}
+}
+
+func TestSingleOutcomeUnchanged(t *testing.T) {
+	d := bitstring.NewDist(3)
+	d.Add(0b101, 42)
+	out, err := Mitigate(d, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count(0b101) != 42 {
+		t.Errorf("single outcome changed: %v", out.StringCounts())
+	}
+}

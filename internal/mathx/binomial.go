@@ -1,0 +1,99 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binomial is a Binomial(N, P) distribution. Fig. 6 of the paper compares
+// the Poisson Hamming-spectrum model against a binomial fit, which is the
+// natural alternative: independent per-qubit flips with probability P.
+type Binomial struct {
+	N int
+	P float64
+}
+
+// PMF returns P(X = k) = C(N,k) P^k (1-P)^(N-k).
+func (b Binomial) PMF(k int) float64 {
+	if k < 0 || k > b.N {
+		return 0
+	}
+	if b.P <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if b.P >= 1 {
+		if k == b.N {
+			return 1
+		}
+		return 0
+	}
+	logC := LogFactorial(b.N) - LogFactorial(k) - LogFactorial(b.N-k)
+	return math.Exp(logC + float64(k)*math.Log(b.P) + float64(b.N-k)*math.Log(1-b.P))
+}
+
+// CDF returns P(X <= k).
+func (b Binomial) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= b.N {
+		return 1
+	}
+	var s float64
+	for i := 0; i <= k; i++ {
+		s += b.PMF(i)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Mean returns N·P.
+func (b Binomial) Mean() float64 { return float64(b.N) * b.P }
+
+// Variance returns N·P·(1-P).
+func (b Binomial) Variance() float64 { return float64(b.N) * b.P * (1 - b.P) }
+
+// Spectrum returns the pmf at 0..n. For n >= N the upper entries are zero.
+func (b Binomial) Spectrum(n int) []float64 {
+	s := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		s[k] = b.PMF(k)
+	}
+	return s
+}
+
+// FitBinomialMLE fits Binomial(n, p̂) to weighted distance samples with the
+// register width n fixed: p̂ = mean/n.
+func FitBinomialMLE(n int, values []int, weights []float64) (Binomial, error) {
+	if n <= 0 {
+		return Binomial{}, fmt.Errorf("mathx: binomial width %d", n)
+	}
+	pois, err := FitPoissonMLE(values, weights)
+	if err != nil {
+		return Binomial{}, err
+	}
+	p := pois.Lambda / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	return Binomial{N: n, P: p}, nil
+}
+
+// UniformSpectrum returns the Hamming spectrum of the uniform distribution
+// over all 2^n bit-strings relative to any fixed center: mass C(n,k)/2^n at
+// distance k. This is Fig. 6's "Uniform" comparator and also the spectrum of
+// a maximally-noisy register.
+func UniformSpectrum(n int) []float64 {
+	s := make([]float64, n+1)
+	logTotal := float64(n) * math.Ln2
+	for k := 0; k <= n; k++ {
+		logC := LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+		s[k] = math.Exp(logC - logTotal)
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+// Package metrics computes the evaluation metrics the paper reports:
+// Probability of Successful Trial (PST, Eq. 6), classical fidelity, Cost
+// Ratio improvements, and relative-change summaries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/mathx"
+)
+
+// PST returns the Probability of Successful Trial: the fraction of
+// observations equal to the correct bit-string (paper Eq. 6).
+func PST(counts *bitstring.Dist, correct bitstring.BitString) (float64, error) {
+	if counts == nil || counts.Total() == 0 {
+		return 0, fmt.Errorf("metrics: empty counts")
+	}
+	return counts.Prob(correct), nil
+}
+
+// Fidelity is the classical (Bhattacharyya) fidelity between the ideal and
+// observed distributions — re-exported here so metric call sites read
+// uniformly.
+func Fidelity(ideal, observed *bitstring.Dist) float64 {
+	return bitstring.Fidelity(ideal, observed)
+}
+
+// RelativeImprovement returns after/before, the paper's improvement ratio
+// (1.77× etc.). A zero or negative baseline yields an error: the ratio is
+// undefined.
+func RelativeImprovement(before, after float64) (float64, error) {
+	if before <= 0 {
+		return 0, fmt.Errorf("metrics: baseline %v must be positive", before)
+	}
+	return after / before, nil
+}
+
+// Summary aggregates a series of per-circuit relative improvements the way
+// the paper quotes them: mean, max, and the failure fraction (ratio < 1).
+type Summary struct {
+	N        int
+	Mean     float64
+	Median   float64
+	Max      float64
+	Min      float64
+	FracLoss float64 // fraction of ratios below 1 (regressions)
+}
+
+// Summarize computes a Summary over improvement ratios.
+func Summarize(ratios []float64) Summary {
+	if len(ratios) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:        len(ratios),
+		Mean:     mathx.Mean(ratios),
+		Median:   mathx.Median(ratios),
+		Max:      mathx.Max(ratios),
+		Min:      mathx.Min(ratios),
+		FracLoss: mathx.FractionBelow(ratios, 1),
+	}
+}
+
+// String renders the summary the way experiment tables print it.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f max=%.3f min=%.3f regressions=%.1f%%",
+		s.N, s.Mean, s.Median, s.Max, s.Min, 100*s.FracLoss)
+}
+
+// GainPercent converts an improvement ratio to the percentage-gain form
+// the paper's abstract uses (2.346× → “234.6%” fidelity boost means the
+// ratio-minus-one percentage).
+func GainPercent(ratio float64) float64 {
+	return (ratio - 1) * 100
+}
+
+// SafeRatio returns after/before, or fallback when before is ~0 — used
+// when aggregating series that can contain zero baselines (e.g. PST of a
+// fully-scrambled circuit).
+func SafeRatio(before, after, fallback float64) float64 {
+	if before <= 1e-12 || math.IsNaN(before) {
+		return fallback
+	}
+	return after / before
+}

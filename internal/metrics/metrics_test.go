@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qbeep/internal/bitstring"
+)
+
+func TestPST(t *testing.T) {
+	d := bitstring.NewDist(3)
+	d.Add(0b101, 75)
+	d.Add(0b100, 25)
+	got, err := PST(d, 0b101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Errorf("PST = %v", got)
+	}
+	if _, err := PST(bitstring.NewDist(3), 0); err == nil {
+		t.Error("empty counts should error")
+	}
+	if _, err := PST(nil, 0); err == nil {
+		t.Error("nil counts should error")
+	}
+}
+
+func TestRelativeImprovement(t *testing.T) {
+	r, err := RelativeImprovement(0.2, 0.5)
+	if err != nil || math.Abs(r-2.5) > 1e-12 {
+		t.Errorf("ratio %v err %v", r, err)
+	}
+	if _, err := RelativeImprovement(0, 1); err == nil {
+		t.Error("zero baseline should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.5, 1.0, 2.0, 4.5})
+	if s.N != 4 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Max != 4.5 || s.Min != 0.5 {
+		t.Errorf("max/min %v/%v", s.Max, s.Min)
+	}
+	if math.Abs(s.Mean-2.0) > 1e-12 {
+		t.Errorf("mean %v", s.Mean)
+	}
+	if math.Abs(s.FracLoss-0.25) > 1e-12 {
+		t.Errorf("fracLoss %v", s.FracLoss)
+	}
+	if !strings.Contains(s.String(), "n=4") {
+		t.Errorf("String: %s", s)
+	}
+	if Summarize(nil).N != 0 || Summarize(nil).String() != "n=0" {
+		t.Error("empty summary wrong")
+	}
+}
+
+func TestGainPercent(t *testing.T) {
+	if g := GainPercent(2.346); math.Abs(g-134.6) > 1e-9 {
+		t.Errorf("GainPercent(2.346) = %v", g)
+	}
+	if g := GainPercent(1); g != 0 {
+		t.Errorf("GainPercent(1) = %v", g)
+	}
+}
+
+func TestSafeRatio(t *testing.T) {
+	if r := SafeRatio(0.5, 1.0, 99); r != 2 {
+		t.Errorf("SafeRatio = %v", r)
+	}
+	if r := SafeRatio(0, 1, 99); r != 99 {
+		t.Errorf("fallback = %v", r)
+	}
+	if r := SafeRatio(math.NaN(), 1, 7); r != 7 {
+		t.Errorf("NaN fallback = %v", r)
+	}
+}
+
+func TestFidelityReexport(t *testing.T) {
+	d := bitstring.NewDist(2)
+	d.Add(0, 1)
+	if Fidelity(d, d) != bitstring.Fidelity(d, d) {
+		t.Error("re-export mismatch")
+	}
+}

@@ -1,0 +1,278 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/circuit"
+	"qbeep/internal/device"
+	"qbeep/internal/mathx"
+	"qbeep/internal/statevector"
+	"qbeep/internal/transpile"
+)
+
+// Run is the outcome of a noisy induction: the raw logical counts, the
+// ideal reference distribution, the transpilation artifacts and the
+// realized event rates.
+type Run struct {
+	Counts     *bitstring.Dist // noisy logical measurement counts
+	Ideal      *bitstring.Dist // exact noiseless logical distribution
+	Transpiled *transpile.Result
+	Rates      EventRates
+	Shots      int
+}
+
+// Executor runs logical circuits on a backend under a Model. The zero
+// value is unusable; construct with NewExecutor.
+type Executor struct {
+	backend *device.Backend
+	model   Model
+}
+
+// NewExecutor returns an executor for the backend and model.
+func NewExecutor(b *device.Backend, m Model) (*Executor, error) {
+	if b == nil {
+		return nil, fmt.Errorf("noise: nil backend")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &Executor{backend: b, model: m}, nil
+}
+
+// Backend returns the executor's backend.
+func (e *Executor) Backend() *device.Backend { return e.backend }
+
+// Execute transpiles c onto the backend and samples shots measurement
+// outcomes under the failure-event model. The ideal distribution comes from
+// the logical circuit (transpilation is semantics-preserving), so register
+// width is bounded by the logical width, not the physical device size.
+func (e *Executor) Execute(c *circuit.Circuit, shots int, rng *mathx.RNG) (*Run, error) {
+	if shots <= 0 {
+		return nil, fmt.Errorf("noise: shots %d must be positive", shots)
+	}
+	if c.N > statevector.MaxQubits {
+		return nil, fmt.Errorf("noise: %d logical qubits exceeds simulator limit %d", c.N, statevector.MaxQubits)
+	}
+	res, err := transpile.Transpile(c, e.backend, nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteTranspiled(c, res, shots, rng)
+}
+
+// ExecuteTranspiled is Execute for a circuit already transpiled (the
+// caller controls layout / reuses the artifact).
+func (e *Executor) ExecuteTranspiled(logical *circuit.Circuit, res *transpile.Result, shots int, rng *mathx.RNG) (*Run, error) {
+	ideal, err := statevector.IdealDist(logical)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := Rates(res, e.backend, e.model)
+	if err != nil {
+		return nil, err
+	}
+	counts := e.sampleNoisy(logical, ideal, res, rates, shots, rng)
+	return &Run{
+		Counts:     counts,
+		Ideal:      ideal,
+		Transpiled: res,
+		Rates:      rates,
+		Shots:      shots,
+	}, nil
+}
+
+// sampleNoisy draws shots outcomes: an ideal sample perturbed by flip
+// events from each enabled channel.
+func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
+	res *transpile.Result, rates EventRates, shots int, rng *mathx.RNG) *bitstring.Dist {
+
+	n := logical.N
+	// Cumulative ideal distribution for sampling.
+	outcomes := ideal.Outcomes()
+	cum := make([]float64, len(outcomes))
+	var acc float64
+	for i, o := range outcomes {
+		acc += ideal.Count(o)
+		cum[i] = acc
+	}
+	sampleIdeal := func() bitstring.BitString {
+		u := rng.Float64() * acc
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return outcomes[lo]
+	}
+
+	// Per-qubit channel probabilities (logical index -> physical calib).
+	pDecay := make([]float64, n)
+	pDephase := make([]float64, n)
+	pReadout := make([]float64, n)
+	for l := 0; l < n; l++ {
+		p := res.Final[l]
+		q := e.backend.Calibration.Qubits[p]
+		if e.model.Decoherence {
+			pDecay[l] = 1 - expNeg(rates.Duration/q.T1)
+			pDephase[l] = 0.5 * (1 - expNeg(rates.Duration/q.T2))
+		}
+		if e.model.Readout {
+			pReadout[l] = q.ReadoutError
+		}
+	}
+
+	// Gate flip events are pooled: the expected count is rates.Gate and
+	// each event hits one of the qubits a gate touches. Precompute the
+	// qubit-weight distribution from the routed circuit (physical qubits
+	// mapped back to logical where possible; routing ancillas redistribute
+	// uniformly since their corruption spreads through subsequent swaps).
+	gateWeight := make([]float64, n)
+	if e.model.GateErrors {
+		phys2log := make(map[int]int, n)
+		for l, p := range res.Final {
+			phys2log[p] = l
+		}
+		for _, g := range res.Circuit.Gates {
+			if !g.Kind.IsUnitary() {
+				continue
+			}
+			var errp float64
+			switch len(g.Qubits) {
+			case 1:
+				errp = e.backend.Calibration.Gates1Q[g.Qubits[0]].Error
+			case 2:
+				if gc, ok := e.backend.Calibration.Gate2Q(g.Qubits[0], g.Qubits[1]); ok {
+					errp = gc.Error
+				}
+			}
+			share := errp / float64(len(g.Qubits))
+			for _, pq := range g.Qubits {
+				if l, ok := phys2log[pq]; ok {
+					gateWeight[l] += share
+				} else {
+					// ancilla: spread over all logical qubits
+					for l := 0; l < n; l++ {
+						gateWeight[l] += share / float64(n)
+					}
+				}
+			}
+		}
+	}
+
+	walkAdj := activeTwoQubitGraph(logical)
+	burstPois := mathx.Poisson{Lambda: rates.Burst}
+
+	// Gate-error events are pooled into a Poisson stream (the paper's §3.2
+	// generative model: independent failure events with a stable rate):
+	// K ~ Poisson(Σ gateWeight) flips per shot, each landing on a qubit
+	// drawn proportionally to its share of the gate-error budget.
+	var gateTotal float64
+	gateCum := make([]float64, n)
+	for l := 0; l < n; l++ {
+		gateTotal += gateWeight[l]
+		gateCum[l] = gateTotal
+	}
+	gatePois := mathx.Poisson{Lambda: gateTotal}
+	sampleGateQubit := func() int {
+		u := rng.Float64() * gateTotal
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if gateCum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	counts := bitstring.NewDist(n)
+	for s := 0; s < shots; s++ {
+		v := sampleIdeal()
+		// Per-shot drift of device conditions (non-Markovian, §3.1): one
+		// mean-normalized log-normal factor scales every time-dependent
+		// channel this shot. Readout is excluded — it is a separate,
+		// stable classifier error.
+		drift := 1.0
+		if e.model.RateJitter > 0 {
+			sg := e.model.RateJitter
+			drift = math.Exp(sg*rng.NormFloat64() - sg*sg/2)
+		}
+		if gateTotal > 0 {
+			pois := gatePois
+			if drift != 1 {
+				pois = mathx.Poisson{Lambda: gateTotal * drift}
+			}
+			k := pois.Sample(rng.Float64)
+			for i := 0; i < k; i++ {
+				v = v.FlipBit(sampleGateQubit())
+			}
+		}
+		// Decoherence.
+		for l := 0; l < n; l++ {
+			if pDecay[l] > 0 && v.Bit(l) == 1 && rng.Float64() < min1(pDecay[l]*drift) {
+				v = v.SetBit(l, 0) // T1 decay is directional
+			}
+			if pDephase[l] > 0 && rng.Float64() < min1(pDephase[l]*drift) {
+				v = v.FlipBit(l)
+			}
+		}
+		// Correlated burst: K ~ Poisson(λ_burst) flips, spread along a
+		// random walk over the circuit's interaction graph (or uniformly).
+		if rates.Burst > 0 {
+			pois := burstPois
+			if drift != 1 {
+				pois = mathx.Poisson{Lambda: rates.Burst * drift}
+			}
+			k := pois.Sample(rng.Float64)
+			if k > 0 {
+				if e.model.BurstWalk {
+					q := rng.Intn(n)
+					for i := 0; i < k; i++ {
+						v = v.FlipBit(q)
+						if nb := walkAdj[q]; len(nb) > 0 && rng.Float64() < 0.8 {
+							q = nb[rng.Intn(len(nb))]
+						} else {
+							q = rng.Intn(n)
+						}
+					}
+				} else {
+					for i := 0; i < k; i++ {
+						v = v.FlipBit(rng.Intn(n))
+					}
+				}
+			}
+		}
+		// Readout flips.
+		for l := 0; l < n; l++ {
+			if pReadout[l] > 0 && rng.Float64() < pReadout[l] {
+				v = v.FlipBit(l)
+			}
+		}
+		counts.Add(v, 1)
+	}
+	return counts
+}
+
+func min1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// expNeg returns exp(-x) guarding against negative x from degenerate
+// schedules.
+func expNeg(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,103 @@
+package noise
+
+import (
+	"fmt"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/circuit"
+	"qbeep/internal/device"
+	"qbeep/internal/mathx"
+	"qbeep/internal/statevector"
+)
+
+// TrajectorySampler runs Monte Carlo Pauli-jump trajectories on the state
+// vector: after each gate, with the gate's calibrated error probability a
+// uniformly random Pauli is injected on one of its qubits; readout flips
+// apply at measurement. This is the conventional Markovian noise model —
+// per the paper (§3.1), it reproduces *local* Hamming clustering only,
+// which our Figure-4 negative-control experiment demonstrates.
+//
+// Cost is one state-vector evolution per shot; keep widths ≤ ~12 and shot
+// counts moderate.
+type TrajectorySampler struct {
+	backend *device.Backend
+}
+
+// NewTrajectorySampler returns a sampler on the backend.
+func NewTrajectorySampler(b *device.Backend) (*TrajectorySampler, error) {
+	if b == nil {
+		return nil, fmt.Errorf("noise: nil backend")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &TrajectorySampler{backend: b}, nil
+}
+
+// pauliKinds indexes the injectable Paulis.
+var pauliKinds = [3]circuit.Kind{circuit.X, circuit.Y, circuit.Z}
+
+// Sample runs shots trajectories of the logical circuit from basis state
+// init. Gate error rates use the backend's mean calibration (the logical
+// circuit is not routed here; this sampler is a physics-level control, not
+// a device-exact one).
+func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString, shots int, rng *mathx.RNG) (*bitstring.Dist, error) {
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if shots <= 0 {
+		return nil, fmt.Errorf("noise: shots %d must be positive", shots)
+	}
+	if c.N > 14 {
+		return nil, fmt.Errorf("noise: trajectory sampling limited to 14 qubits, got %d", c.N)
+	}
+	var err1q, err2q float64
+	for _, g := range t.backend.Calibration.Gates1Q {
+		err1q += g.Error
+	}
+	err1q /= float64(len(t.backend.Calibration.Gates1Q))
+	n2 := 0
+	for _, g := range t.backend.Calibration.Gates2Q {
+		err2q += g.Error
+		n2++
+	}
+	if n2 > 0 {
+		err2q /= float64(n2)
+	}
+	readout := t.backend.Calibration.MeanReadoutError()
+
+	counts := bitstring.NewDist(c.N)
+	for s := 0; s < shots; s++ {
+		st, err := statevector.NewBasis(c.N, init)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range c.Gates {
+			if err := st.Apply(g); err != nil {
+				return nil, err
+			}
+			if !g.Kind.IsUnitary() {
+				continue
+			}
+			p := err1q
+			if len(g.Qubits) >= 2 {
+				p = err2q
+			}
+			if rng.Float64() < p {
+				q := g.Qubits[rng.Intn(len(g.Qubits))]
+				pk := pauliKinds[rng.Intn(3)]
+				if err := st.Apply(circuit.Gate{Kind: pk, Qubits: []int{q}}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out := st.Sample(1, rng).Outcomes()[0]
+		for q := 0; q < c.N; q++ {
+			if rng.Float64() < readout {
+				out = out.FlipBit(q)
+			}
+		}
+		counts.Add(out, 1)
+	}
+	return counts, nil
+}

@@ -1,0 +1,76 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	const n = 100
+	results := make([]int, n)
+	err := ForEach(n, 8, func(i int) error {
+		results[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestForEachSequentialFallback(t *testing.T) {
+	order := make([]int, 0, 5)
+	err := ForEach(5, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", order)
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	var calls int64
+	err := ForEach(50, 4, func(i int) error {
+		atomic.AddInt64(&calls, 1)
+		if i == 13 {
+			return fmt.Errorf("boom at %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if calls != 50 {
+		t.Fatalf("tasks should all run; got %d", calls)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return fmt.Errorf("nope") }); err != nil {
+		t.Fatal("zero tasks should be a no-op")
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var sum int64
+	if err := ForEach(200, 0, func(i int) error {
+		atomic.AddInt64(&sum, int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 199*200/2 {
+		t.Fatalf("sum %d", sum)
+	}
+}

@@ -1,0 +1,203 @@
+// Package qaoa implements the Quantum Approximate Optimization Algorithm
+// workload of the paper's §4.4: MaxCut problem graphs, the p-layer QAOA
+// circuit, exact minimum-cost computation, and the Cost-Ratio metric. The
+// synthetic dataset generator stands in for the Google Sycamore QAOA data
+// (Harrigan et al. 2021) the paper post-processes.
+package qaoa
+
+import (
+	"fmt"
+	"math"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/circuit"
+	"qbeep/internal/mathx"
+)
+
+// Graph is an undirected weighted problem graph for MaxCut.
+type Graph struct {
+	N       int
+	Edges   [][2]int
+	Weights []float64 // parallel to Edges; nil means all 1
+}
+
+// Validate checks structural consistency.
+func (g *Graph) Validate() error {
+	if g.N <= 0 {
+		return fmt.Errorf("qaoa: graph with %d vertices", g.N)
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("qaoa: %d weights for %d edges", len(g.Weights), len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e[0] == e[1] || e[0] < 0 || e[1] < 0 || e[0] >= g.N || e[1] >= g.N {
+			return fmt.Errorf("qaoa: bad edge %v", e)
+		}
+	}
+	return nil
+}
+
+// weight returns the weight of edge i.
+func (g *Graph) weight(i int) float64 {
+	if g.Weights == nil {
+		return 1
+	}
+	return g.Weights[i]
+}
+
+// Cost evaluates the MaxCut cost Hamiltonian C(z) = Σ_(i,j) w_ij · z_i·z_j
+// with z_i = ±1 from bit i. Minimizing C maximizes the cut, so C_min is
+// negative for any graph with at least one edge — matching the paper's
+// observation that all problems have negative C_min.
+func (g *Graph) Cost(assign bitstring.BitString) float64 {
+	var c float64
+	for i, e := range g.Edges {
+		zi := 1.0 - 2.0*float64(assign.Bit(e[0]))
+		zj := 1.0 - 2.0*float64(assign.Bit(e[1]))
+		c += g.weight(i) * zi * zj
+	}
+	return c
+}
+
+// MinCost brute-forces the minimum of Cost over all 2^N assignments
+// (N <= 24).
+func (g *Graph) MinCost() (float64, bitstring.BitString, error) {
+	if err := g.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if g.N > 24 {
+		return 0, 0, fmt.Errorf("qaoa: brute force limited to 24 vertices, got %d", g.N)
+	}
+	best := math.Inf(1)
+	var argBest bitstring.BitString
+	for v := bitstring.BitString(0); v < 1<<uint(g.N); v++ {
+		if c := g.Cost(v); c < best {
+			best, argBest = c, v
+		}
+	}
+	return best, argBest, nil
+}
+
+// ExpectedCost returns E[C] under a measurement distribution.
+func (g *Graph) ExpectedCost(d *bitstring.Dist) (float64, error) {
+	if d.Width() != g.N {
+		return 0, fmt.Errorf("qaoa: distribution width %d vs graph %d", d.Width(), g.N)
+	}
+	if d.Total() == 0 {
+		return 0, fmt.Errorf("qaoa: empty distribution")
+	}
+	var e float64
+	d.Each(func(v bitstring.BitString, c float64) {
+		e += g.Cost(v) * c
+	})
+	return e / d.Total(), nil
+}
+
+// CostRatio returns CR = E[C]/C_min (paper Eq. 7). Because C_min < 0,
+// better solutions have larger CR, with CR = 1 optimal.
+func (g *Graph) CostRatio(d *bitstring.Dist) (float64, error) {
+	e, err := g.ExpectedCost(d)
+	if err != nil {
+		return 0, err
+	}
+	cmin, _, err := g.MinCost()
+	if err != nil {
+		return 0, err
+	}
+	if cmin == 0 {
+		return 0, fmt.Errorf("qaoa: degenerate graph with zero C_min")
+	}
+	return e / cmin, nil
+}
+
+// Random3Regular samples a 3-regular graph on n vertices (n even, n >= 4)
+// by repeatedly drawing perfect matchings (configuration model with
+// rejection of collisions).
+func Random3Regular(n int, rng *mathx.RNG) (*Graph, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("qaoa: 3-regular graph needs even n >= 4, got %d", n)
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		degree := make([]int, n)
+		adj := make(map[[2]int]bool)
+		var edges [][2]int
+		ok := true
+		for round := 0; round < 3 && ok; round++ {
+			perm := rng.Perm(n)
+			for i := 0; i+1 < n; i += 2 {
+				a, b := perm[i], perm[i+1]
+				if a > b {
+					a, b = b, a
+				}
+				if adj[[2]int{a, b}] || degree[a] >= 3 || degree[b] >= 3 {
+					ok = false
+					break
+				}
+				adj[[2]int{a, b}] = true
+				edges = append(edges, [2]int{a, b})
+				degree[a]++
+				degree[b]++
+			}
+		}
+		if !ok {
+			continue
+		}
+		g := &Graph{N: n, Edges: edges}
+		if err := g.Validate(); err == nil {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("qaoa: failed to sample a 3-regular graph on %d vertices", n)
+}
+
+// RandomErdosRenyi samples G(n, p) conditioned on having at least one
+// edge.
+func RandomErdosRenyi(n int, p float64, rng *mathx.RNG) (*Graph, error) {
+	if n < 2 || p <= 0 || p > 1 {
+		return nil, fmt.Errorf("qaoa: bad G(%d, %v)", n, p)
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		if len(edges) > 0 {
+			return &Graph{N: n, Edges: edges}, nil
+		}
+	}
+	return nil, fmt.Errorf("qaoa: failed to sample a non-empty G(%d,%v)", n, p)
+}
+
+// Circuit builds the p-layer QAOA circuit for the graph with parameters
+// gamma, beta (len p each): H^n, then per layer the cost unitary
+// exp(-iγ·C) as ZZ interactions (CX·RZ(2γw)·CX) and the mixer
+// exp(-iβ·ΣX) as RX(2β).
+func Circuit(g *Graph, gamma, beta []float64) (*circuit.Circuit, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gamma) != len(beta) || len(gamma) == 0 {
+		return nil, fmt.Errorf("qaoa: need matching non-empty gamma/beta, got %d/%d", len(gamma), len(beta))
+	}
+	c := circuit.New(fmt.Sprintf("qaoa-n%d-p%d", g.N, len(gamma)), g.N)
+	for q := 0; q < g.N; q++ {
+		c.H(q)
+	}
+	for layer := range gamma {
+		c.Barrier()
+		for i, e := range g.Edges {
+			c.CX(e[0], e[1])
+			c.RZ(2*gamma[layer]*g.weight(i), e[1])
+			c.CX(e[0], e[1])
+		}
+		for q := 0; q < g.N; q++ {
+			c.RX(2*beta[layer], q)
+		}
+	}
+	c.MeasureAll()
+	return c.Finalize()
+}

@@ -1,0 +1,48 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the OpenQASM parser against malformed input: it must
+// never panic, and any program it accepts must re-serialize and re-parse
+// to the same gate count (a parse/print fixed point).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+		"// name\nqreg q[3];\nrz(pi/2) q[1];\nbarrier q[0],q[1];\nmeasure q[2] -> c[2];\n",
+		"qreg q[1];\nu3(0.1,0.2,0.3) q[0];",
+		"qreg q[4];\nccx q[0],q[1],q[2];\nswap q[2],q[3];",
+		"qreg q[2];\nrz(-3*pi/4) q[0];\ncnot q[1],q[0];",
+		"qreg q[0];",
+		"qreg q[",
+		"h q[0];",
+		";;;",
+		"qreg q[2];\nrz() q[0];",
+		"qreg q[2]; x q[1]; x q[1]; id q[0];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out, err := Write(c)
+		if err != nil {
+			t.Fatalf("accepted program failed to serialize: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("serialized program failed to re-parse: %v\n%s", err, out)
+		}
+		if back.GateCount() != c.GateCount() {
+			t.Fatalf("gate count changed through round trip: %d vs %d", c.GateCount(), back.GateCount())
+		}
+		if !strings.Contains(out, "OPENQASM 2.0;") {
+			t.Fatalf("serializer dropped the header")
+		}
+	})
+}

@@ -1,0 +1,134 @@
+// Package readout implements measurement-error mitigation by tensored
+// confusion-matrix inversion — the standard SPAM-correction technique
+// vendor SDKs ship. The paper (§3.5) notes Q-BEEP composes with other
+// mitigation methods; this package provides the natural partner: readout
+// correction removes the classifier bit-flips, Q-BEEP then handles the
+// circuit-level Hamming structure. The composition is exercised by
+// BenchmarkAblationComposition and the readout tests.
+package readout
+
+import (
+	"fmt"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/device"
+)
+
+// MaxQubits bounds the dense correction (2^n-entry probability vector).
+const MaxQubits = 20
+
+// Mitigator inverts per-qubit readout confusion matrices. Under the
+// symmetric-error model the calibration publishes (one flip probability
+// per qubit), the confusion matrix of qubit q is
+//
+//	M_q = [[1-e_q, e_q], [e_q, 1-e_q]]
+//
+// and the register matrix is the tensor product. Its inverse is applied
+// axis-by-axis, so the correction is O(n·2^n) rather than O(4^n).
+type Mitigator struct {
+	n     int
+	flips []float64 // per-qubit flip probability e_q
+}
+
+// New builds a mitigator for the first n physical qubits of the backend's
+// calibration. qubits selects which physical qubit feeds each logical
+// position (e.g. a transpile layout); nil means identity.
+func New(b *device.Backend, n int, qubits []int) (*Mitigator, error) {
+	if b == nil || b.Calibration == nil {
+		return nil, fmt.Errorf("readout: nil backend")
+	}
+	if n <= 0 || n > MaxQubits {
+		return nil, fmt.Errorf("readout: width %d outside (0,%d]", n, MaxQubits)
+	}
+	if qubits == nil {
+		qubits = make([]int, n)
+		for i := range qubits {
+			qubits[i] = i
+		}
+	}
+	if len(qubits) != n {
+		return nil, fmt.Errorf("readout: %d qubits for width %d", len(qubits), n)
+	}
+	m := &Mitigator{n: n, flips: make([]float64, n)}
+	for i, q := range qubits {
+		if q < 0 || q >= len(b.Calibration.Qubits) {
+			return nil, fmt.Errorf("readout: physical qubit %d outside calibration", q)
+		}
+		e := b.Calibration.Qubits[q].ReadoutError
+		if e >= 0.5 {
+			return nil, fmt.Errorf("readout: qubit %d error %v not invertible (>= 0.5)", q, e)
+		}
+		m.flips[i] = e
+	}
+	return m, nil
+}
+
+// NewFromRates builds a mitigator directly from per-qubit flip rates.
+func NewFromRates(flips []float64) (*Mitigator, error) {
+	if len(flips) == 0 || len(flips) > MaxQubits {
+		return nil, fmt.Errorf("readout: %d rates outside (0,%d]", len(flips), MaxQubits)
+	}
+	for i, e := range flips {
+		if e < 0 || e >= 0.5 {
+			return nil, fmt.Errorf("readout: rate %d = %v outside [0,0.5)", i, e)
+		}
+	}
+	return &Mitigator{n: len(flips), flips: append([]float64(nil), flips...)}, nil
+}
+
+// Apply corrects a measured distribution: p_true = M⁻¹ p_observed,
+// applied per qubit. Small negative entries from statistical noise are
+// clipped to zero and the result renormalized to the input total.
+func (m *Mitigator) Apply(counts *bitstring.Dist) (*bitstring.Dist, error) {
+	if counts == nil || counts.Total() == 0 {
+		return nil, fmt.Errorf("readout: empty counts")
+	}
+	if counts.Width() != m.n {
+		return nil, fmt.Errorf("readout: counts width %d vs mitigator %d", counts.Width(), m.n)
+	}
+	dim := 1 << uint(m.n)
+	vec := make([]float64, dim)
+	counts.Each(func(v bitstring.BitString, c float64) {
+		vec[v] = c
+	})
+	// Per-qubit inverse: M⁻¹ = 1/(1-2e) · [[1-e, -e], [-e, 1-e]].
+	for q := 0; q < m.n; q++ {
+		e := m.flips[q]
+		if e == 0 {
+			continue
+		}
+		det := 1 - 2*e
+		a := (1 - e) / det
+		b := -e / det
+		mask := 1 << uint(q)
+		for i := 0; i < dim; i++ {
+			if i&mask != 0 {
+				continue
+			}
+			j := i | mask
+			v0, v1 := vec[i], vec[j]
+			vec[i] = a*v0 + b*v1
+			vec[j] = b*v0 + a*v1
+		}
+	}
+	out := bitstring.NewDist(m.n)
+	for i, c := range vec {
+		if c > 0 {
+			out.Add(bitstring.BitString(i), c)
+		}
+	}
+	if out.Total() == 0 {
+		return nil, fmt.Errorf("readout: correction removed all mass")
+	}
+	return out.Normalized(counts.Total()), nil
+}
+
+// ExpectedFlips returns the summed per-qubit flip probability — the
+// readout contribution to a λ budget.
+func (m *Mitigator) ExpectedFlips() float64 {
+	var s float64
+	for _, e := range m.flips {
+		s += e
+	}
+	return s
+}

@@ -1,0 +1,210 @@
+package readout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/device"
+	"qbeep/internal/mathx"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewValidation(t *testing.T) {
+	b, err := device.ByName("carthage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, 3, nil); err == nil {
+		t.Error("nil backend should error")
+	}
+	if _, err := New(b, 0, nil); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := New(b, 3, []int{0, 1}); err == nil {
+		t.Error("qubit list mismatch should error")
+	}
+	if _, err := New(b, 3, []int{0, 1, 99}); err == nil {
+		t.Error("out-of-range physical should error")
+	}
+	if _, err := New(b, 3, nil); err != nil {
+		t.Errorf("valid construction failed: %v", err)
+	}
+}
+
+func TestNewFromRatesValidation(t *testing.T) {
+	if _, err := NewFromRates(nil); err == nil {
+		t.Error("empty rates should error")
+	}
+	if _, err := NewFromRates([]float64{0.6}); err == nil {
+		t.Error("rate >= 0.5 should error")
+	}
+	if _, err := NewFromRates([]float64{-0.1}); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestApplyInvertsExactConfusion(t *testing.T) {
+	// Construct the exactly-confused distribution of a point mass and
+	// verify the mitigator recovers the point mass.
+	flips := []float64{0.05, 0.1, 0.02}
+	m, err := NewFromRates(flips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := bitstring.BitString(0b101)
+	confused := bitstring.NewDist(3)
+	for v := bitstring.BitString(0); v < 8; v++ {
+		p := 1.0
+		for q := 0; q < 3; q++ {
+			if v.Bit(q) == truth.Bit(q) {
+				p *= 1 - flips[q]
+			} else {
+				p *= flips[q]
+			}
+		}
+		confused.Add(v, p*1000)
+	}
+	out, err := m.Apply(confused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(out.Prob(truth), 1, 1e-9) {
+		t.Errorf("recovered P(truth) = %v", out.Prob(truth))
+	}
+	if !approx(out.Total(), confused.Total(), 1e-6) {
+		t.Errorf("total changed: %v -> %v", confused.Total(), out.Total())
+	}
+}
+
+func TestApplySampledCountsImprove(t *testing.T) {
+	// Sampled (noisy) confusion: mitigation should move the distribution
+	// toward the truth even with clipping.
+	flips := []float64{0.08, 0.08, 0.08, 0.08}
+	m, _ := NewFromRates(flips)
+	truth := bitstring.BitString(0b1010)
+	rng := mathx.NewRNG(4)
+	raw := bitstring.NewDist(4)
+	for shot := 0; shot < 8000; shot++ {
+		v := truth
+		for q := 0; q < 4; q++ {
+			if rng.Float64() < flips[q] {
+				v = v.FlipBit(q)
+			}
+		}
+		raw.Add(v, 1)
+	}
+	out, err := m.Apply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Prob(truth) <= raw.Prob(truth) {
+		t.Errorf("readout mitigation did not improve: %v -> %v",
+			raw.Prob(truth), out.Prob(truth))
+	}
+	if out.Prob(truth) < 0.97 {
+		t.Errorf("recovered mass %v too low", out.Prob(truth))
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	m, _ := NewFromRates([]float64{0.1, 0.1})
+	if _, err := m.Apply(nil); err == nil {
+		t.Error("nil counts should error")
+	}
+	if _, err := m.Apply(bitstring.NewDist(2)); err == nil {
+		t.Error("empty counts should error")
+	}
+	wrong := bitstring.NewDist(3)
+	wrong.Add(0, 1)
+	if _, err := m.Apply(wrong); err == nil {
+		t.Error("width mismatch should error")
+	}
+}
+
+func TestZeroErrorIsIdentity(t *testing.T) {
+	m, _ := NewFromRates([]float64{0, 0})
+	d := bitstring.NewDist(2)
+	d.Add(0b01, 30)
+	d.Add(0b10, 70)
+	out, err := m.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitstring.TVD(d, out) > 1e-12 {
+		t.Error("zero-error mitigation should be identity")
+	}
+}
+
+func TestApplyPreservesTotalQuick(t *testing.T) {
+	f := func(c0, c1, c2, c3 uint8, e1Raw, e2Raw uint8) bool {
+		e1 := float64(e1Raw) / 600 // < 0.43
+		e2 := float64(e2Raw) / 600
+		m, err := NewFromRates([]float64{e1, e2})
+		if err != nil {
+			return false
+		}
+		d := bitstring.NewDist(2)
+		d.Add(0, float64(c0))
+		d.Add(1, float64(c1))
+		d.Add(2, float64(c2))
+		d.Add(3, float64(c3))
+		if d.Total() == 0 {
+			return true
+		}
+		out, err := m.Apply(d)
+		if err != nil {
+			// All-mass-removed is a legitimate failure for adversarial
+			// inputs; anything else is not.
+			return err.Error() == "readout: correction removed all mass"
+		}
+		return approx(out.Total(), d.Total(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedFlips(t *testing.T) {
+	m, _ := NewFromRates([]float64{0.1, 0.2, 0.05})
+	if !approx(m.ExpectedFlips(), 0.35, 1e-12) {
+		t.Errorf("ExpectedFlips = %v", m.ExpectedFlips())
+	}
+}
+
+func TestCompositionWithQBEEPStyleCounts(t *testing.T) {
+	// Readout flips on top of Poisson-clustered circuit errors: readout
+	// correction first, then the circuit-level structure remains for
+	// Q-BEEP. Here we only verify readout correction strictly improves
+	// fidelity on the composite channel.
+	flips := []float64{0.06, 0.06, 0.06, 0.06, 0.06}
+	m, _ := NewFromRates(flips)
+	truth := bitstring.BitString(0b10110)
+	rng := mathx.NewRNG(9)
+	pois := mathx.Poisson{Lambda: 0.8}
+	raw := bitstring.NewDist(5)
+	for shot := 0; shot < 8000; shot++ {
+		v := truth
+		k := pois.Sample(rng.Float64)
+		for i := 0; i < k; i++ {
+			v = v.FlipBit(rng.Intn(5))
+		}
+		for q := 0; q < 5; q++ {
+			if rng.Float64() < flips[q] {
+				v = v.FlipBit(q)
+			}
+		}
+		raw.Add(v, 1)
+	}
+	ideal := bitstring.NewDist(5)
+	ideal.Add(truth, 1)
+	out, err := m.Apply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitstring.Fidelity(ideal, out) <= bitstring.Fidelity(ideal, raw) {
+		t.Error("readout correction should improve the composite channel")
+	}
+}

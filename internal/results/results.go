@@ -1,0 +1,112 @@
+// Package results defines the on-disk interchange format for measurement
+// counts used by the command-line tools. Two shapes are accepted:
+//
+//   - a bare counts object, the shape vendor SDKs dump:
+//     {"0101": 3812, "0111": 120}
+//
+//   - an envelope carrying run metadata, which lets downstream tools
+//     mitigate without re-supplying the circuit and backend:
+//     {"backend": "istanbul", "shots": 4096, "lambda": 1.31,
+//     "counts": {"0101": 3812, ...}}
+//
+// Load sniffs the shape; Save always writes the envelope.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// File is the metadata envelope.
+type File struct {
+	Backend string             `json:"backend,omitempty"`
+	Circuit string             `json:"circuit,omitempty"` // name or source path
+	Shots   int                `json:"shots,omitempty"`
+	Seed    uint64             `json:"seed,omitempty"`
+	Lambda  float64            `json:"lambda,omitempty"` // pre-induction Eq. 2 estimate
+	Counts  map[string]float64 `json:"counts"`
+}
+
+// Validate checks the envelope carries usable counts.
+func (f *File) Validate() error {
+	if len(f.Counts) == 0 {
+		return fmt.Errorf("results: no counts")
+	}
+	width := -1
+	for s, c := range f.Counts {
+		if c < 0 {
+			return fmt.Errorf("results: negative count for %q", s)
+		}
+		if width == -1 {
+			width = len(s)
+		} else if len(s) != width {
+			return fmt.Errorf("results: mixed bit-string widths %d and %d", width, len(s))
+		}
+		for _, ch := range s {
+			if ch != '0' && ch != '1' {
+				return fmt.Errorf("results: invalid bit-string %q", s)
+			}
+		}
+	}
+	if f.Lambda < 0 {
+		return fmt.Errorf("results: negative lambda %v", f.Lambda)
+	}
+	return nil
+}
+
+// Decode parses either accepted shape from raw JSON.
+func Decode(data []byte) (*File, error) {
+	// Try the envelope first: it is unambiguous because the bare shape
+	// has float values, never objects.
+	var env File
+	if err := json.Unmarshal(data, &env); err == nil && env.Counts != nil {
+		if err := env.Validate(); err != nil {
+			return nil, err
+		}
+		return &env, nil
+	}
+	var bare map[string]float64
+	if err := json.Unmarshal(data, &bare); err != nil {
+		return nil, fmt.Errorf("results: not a counts object or envelope: %w", err)
+	}
+	f := &File{Counts: bare}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Load reads and decodes a counts file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Encode renders the envelope as indented JSON.
+func (f *File) Encode() ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Save writes the envelope to path.
+func (f *File) Save(path string) error {
+	data, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

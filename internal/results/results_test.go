@@ -1,0 +1,106 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDecodeBareCounts(t *testing.T) {
+	f, err := Decode([]byte(`{"0101": 3812, "0111": 120}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Counts["0101"] != 3812 || f.Backend != "" {
+		t.Errorf("decoded %+v", f)
+	}
+}
+
+func TestDecodeEnvelope(t *testing.T) {
+	f, err := Decode([]byte(`{
+		"backend": "istanbul", "shots": 4096, "lambda": 1.31,
+		"counts": {"01": 100, "10": 50}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Backend != "istanbul" || f.Shots != 4096 || f.Lambda != 1.31 {
+		t.Errorf("metadata lost: %+v", f)
+	}
+	if f.Counts["01"] != 100 {
+		t.Errorf("counts lost: %v", f.Counts)
+	}
+}
+
+func TestDecodeRejectsBad(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"counts": {}}`,
+		`{}`,
+		`{"0x1": 5}`,
+		`{"01": -3}`,
+		`{"01": 1, "011": 2}`,
+		`{"counts": {"01": 1}, "lambda": -2}`,
+	}
+	for _, src := range cases {
+		if _, err := Decode([]byte(src)); err == nil {
+			t.Errorf("should reject %q", src)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	orig := &File{
+		Backend: "galway",
+		Circuit: "bv-8",
+		Shots:   2048,
+		Seed:    7,
+		Lambda:  0.92,
+		Counts:  map[string]float64{"10110100": 1800, "10110101": 248},
+	}
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Backend != orig.Backend || back.Lambda != orig.Lambda || back.Seed != orig.Seed {
+		t.Errorf("metadata changed: %+v", back)
+	}
+	for k, v := range orig.Counts {
+		if back.Counts[k] != v {
+			t.Errorf("count %s changed", k)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadBareFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(path, []byte(`{"11": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Counts["11"] != 7 {
+		t.Errorf("bare load failed: %+v", f)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	f := &File{Counts: map[string]float64{}}
+	if _, err := f.Encode(); err == nil {
+		t.Error("empty counts should not encode")
+	}
+}

@@ -1,0 +1,104 @@
+package transpile
+
+import "qbeep/internal/circuit"
+
+// commuteMergeOnce performs one commutation-aware merge pass over basis
+// gates:
+//
+//   - RZ(q) commutes backward through any diagonal gate on q (another RZ
+//     merges with it), through the CONTROL of a CX, and through either
+//     qubit of a CZ;
+//   - X(q) commutes backward through the TARGET of a CX (X_t CX = CX X_t)
+//     and cancels against an earlier X on q reached that way.
+//
+// Gates on disjoint qubits are transparent. Barriers and measurements
+// block. Returns the rewritten gates and whether anything changed; run to
+// a fixed point interleaved with the adjacent-pair pass (see Optimize).
+func commuteMergeOnce(gates []circuit.Gate) ([]circuit.Gate, bool) {
+	const dead = circuit.Kind(-1)
+	changed := false
+
+	touches := func(g circuit.Gate, q int) bool {
+		for _, gq := range g.Qubits {
+			if gq == q {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i := 0; i < len(gates); i++ {
+		g := gates[i]
+		switch g.Kind {
+		case circuit.RZ:
+			q := g.Qubits[0]
+		scanRZ:
+			for j := i - 1; j >= 0; j-- {
+				h := gates[j]
+				if h.Kind == dead || !touches(h, q) {
+					continue
+				}
+				switch h.Kind {
+				case circuit.RZ:
+					if h.Qubits[0] == q {
+						merged := foldAngle(h.Params[0] + g.Params[0])
+						changed = true
+						if merged == 0 {
+							gates[j].Kind = dead
+						} else {
+							gates[j].Params[0] = merged
+						}
+						gates[i].Kind = dead
+						break scanRZ
+					}
+					break scanRZ
+				case circuit.CX:
+					if h.Qubits[0] == q { // control: diagonal on control commutes
+						continue
+					}
+					break scanRZ
+				case circuit.CZ:
+					continue // fully diagonal: commutes with RZ on either qubit
+				default:
+					break scanRZ
+				}
+			}
+		case circuit.X:
+			q := g.Qubits[0]
+		scanX:
+			for j := i - 1; j >= 0; j-- {
+				h := gates[j]
+				if h.Kind == dead || !touches(h, q) {
+					continue
+				}
+				switch h.Kind {
+				case circuit.X:
+					if h.Qubits[0] == q {
+						gates[j].Kind = dead
+						gates[i].Kind = dead
+						changed = true
+						break scanX
+					}
+					break scanX
+				case circuit.CX:
+					if h.Qubits[1] == q { // target: X on target commutes
+						continue
+					}
+					break scanX
+				default:
+					break scanX
+				}
+			}
+		}
+	}
+	if !changed {
+		return gates, false
+	}
+	out := gates[:0]
+	for _, g := range gates {
+		if g.Kind != dead {
+			out = append(out, g)
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,144 @@
+// Package transpile lowers logical circuits to a hardware backend: it
+// decomposes gates to the IBMQ-style {RZ, SX, X, CX} basis, maps and routes
+// qubits onto the device topology by SWAP insertion, cancels redundant
+// gates, and estimates the scheduled execution time — the t_circuit input of
+// Q-BEEP's λ model (paper Eq. 2).
+package transpile
+
+import (
+	"fmt"
+	"math"
+
+	"qbeep/internal/circuit"
+)
+
+// basisGate emits a basis gate (helper for readability).
+func rz(phi float64, q int) circuit.Gate {
+	return circuit.Gate{Kind: circuit.RZ, Qubits: []int{q}, Params: []float64{phi}}
+}
+
+func sx(q int) circuit.Gate { return circuit.Gate{Kind: circuit.SX, Qubits: []int{q}} }
+
+func x(q int) circuit.Gate { return circuit.Gate{Kind: circuit.X, Qubits: []int{q}} }
+
+func cx(c, t int) circuit.Gate { return circuit.Gate{Kind: circuit.CX, Qubits: []int{c, t}} }
+
+// u3Basis decomposes U3(θ, φ, λ) into the ZXZXZ (RZ–SX–RZ–SX–RZ) Euler
+// form used by IBM hardware: U3(θ,φ,λ) = RZ(φ+π)·SX·RZ(θ+π)·SX·RZ(λ),
+// applied right-to-left, equal up to global phase.
+func u3Basis(theta, phi, lambda float64, q int) []circuit.Gate {
+	return []circuit.Gate{
+		rz(lambda, q),
+		sx(q),
+		rz(theta+math.Pi, q),
+		sx(q),
+		rz(phi+math.Pi, q),
+	}
+}
+
+// DecomposeGate rewrites one logical gate into basis gates. Barrier and
+// Measure pass through. The decompositions are standard textbook ones; the
+// CCX/CSWAP expansions go through the 6-CX Toffoli network.
+func DecomposeGate(g circuit.Gate) ([]circuit.Gate, error) {
+	q := g.Qubits
+	switch g.Kind {
+	case circuit.I:
+		return nil, nil
+	case circuit.X, circuit.SX, circuit.RZ, circuit.CX, circuit.Measure, circuit.Barrier:
+		return []circuit.Gate{g.Clone()}, nil
+	case circuit.Z:
+		return []circuit.Gate{rz(math.Pi, q[0])}, nil
+	case circuit.S:
+		return []circuit.Gate{rz(math.Pi/2, q[0])}, nil
+	case circuit.Sdg:
+		return []circuit.Gate{rz(-math.Pi/2, q[0])}, nil
+	case circuit.T:
+		return []circuit.Gate{rz(math.Pi/4, q[0])}, nil
+	case circuit.Tdg:
+		return []circuit.Gate{rz(-math.Pi/4, q[0])}, nil
+	case circuit.Y:
+		// Y = RZ(π)·X up to global phase (Y = iXZ).
+		return []circuit.Gate{rz(math.Pi, q[0]), x(q[0])}, nil
+	case circuit.H:
+		// H = RZ(π/2)·SX·RZ(π/2) up to global phase.
+		return []circuit.Gate{rz(math.Pi/2, q[0]), sx(q[0]), rz(math.Pi/2, q[0])}, nil
+	case circuit.RX:
+		// RX(θ) = U3(θ, -π/2, π/2).
+		return u3Basis(g.Params[0], -math.Pi/2, math.Pi/2, q[0]), nil
+	case circuit.RY:
+		// RY(θ) = U3(θ, 0, 0).
+		return u3Basis(g.Params[0], 0, 0, q[0]), nil
+	case circuit.U3:
+		return u3Basis(g.Params[0], g.Params[1], g.Params[2], q[0]), nil
+	case circuit.CZ:
+		// CZ = H_t · CX · H_t.
+		var out []circuit.Gate
+		h, _ := DecomposeGate(circuit.Gate{Kind: circuit.H, Qubits: []int{q[1]}})
+		out = append(out, h...)
+		out = append(out, cx(q[0], q[1]))
+		out = append(out, h...)
+		return out, nil
+	case circuit.SWAP:
+		return []circuit.Gate{cx(q[0], q[1]), cx(q[1], q[0]), cx(q[0], q[1])}, nil
+	case circuit.CCX:
+		return decomposeToffoli(q[0], q[1], q[2]), nil
+	case circuit.CSWAP:
+		// CSWAP(c,a,b) = CX(b,a) · CCX(c,a,b) · CX(b,a).
+		var out []circuit.Gate
+		out = append(out, cx(q[2], q[1]))
+		out = append(out, decomposeToffoli(q[0], q[1], q[2])...)
+		out = append(out, cx(q[2], q[1]))
+		return out, nil
+	default:
+		return nil, fmt.Errorf("transpile: cannot decompose %s", g.Kind)
+	}
+}
+
+// decomposeToffoli is the standard 6-CX, 7-T realization of CCX(c1,c2,t),
+// expressed directly in basis gates (T → RZ(π/4), H → RZ·SX·RZ).
+func decomposeToffoli(c1, c2, t int) []circuit.Gate {
+	hT := func(q int) []circuit.Gate {
+		return []circuit.Gate{rz(math.Pi/2, q), sx(q), rz(math.Pi/2, q)}
+	}
+	tg := func(q int) circuit.Gate { return rz(math.Pi/4, q) }
+	tdg := func(q int) circuit.Gate { return rz(-math.Pi/4, q) }
+	var out []circuit.Gate
+	out = append(out, hT(t)...)
+	out = append(out, cx(c2, t), tdg(t), cx(c1, t), tg(t), cx(c2, t), tdg(t), cx(c1, t))
+	out = append(out, tg(c2), tg(t))
+	out = append(out, hT(t)...)
+	out = append(out, cx(c1, c2), tg(c1), tdg(c2), cx(c1, c2))
+	return out
+}
+
+// Decompose lowers every gate of c into the {RZ, SX, X, CX} basis
+// (measurements and barriers preserved).
+func Decompose(c *circuit.Circuit) (*circuit.Circuit, error) {
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	out := circuit.New(c.Name, c.N)
+	for _, g := range c.Gates {
+		lowered, err := DecomposeGate(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, lg := range lowered {
+			out.Append(lg)
+		}
+	}
+	return out.Finalize()
+}
+
+// IsBasis reports whether the circuit only uses {RZ, SX, X, CX} plus
+// measurements and barriers.
+func IsBasis(c *circuit.Circuit) bool {
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.RZ, circuit.SX, circuit.X, circuit.CX, circuit.Measure, circuit.Barrier:
+		default:
+			return false
+		}
+	}
+	return true
+}

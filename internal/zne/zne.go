@@ -1,0 +1,168 @@
+// Package zne implements zero-noise extrapolation, a standard
+// quantum-error-mitigation technique that composes with Q-BEEP: the
+// circuit is run at amplified noise levels produced by unitary gate
+// folding (G → G·G†·G triples every folded gate, tripling its error
+// exposure while preserving semantics), an observable is measured at each
+// level, and the zero-noise value is extrapolated.
+//
+// Q-BEEP corrects the measured *distribution*; ZNE corrects an
+// *expectation value*. For workloads scored by an observable (QAOA cost,
+// ⟨Z⟩ chains) the two attack different error components, which is why the
+// paper's §3.5 argues for stacking mitigation methods.
+package zne
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qbeep/internal/circuit"
+	"qbeep/internal/clifford"
+)
+
+// Fold returns the circuit with every unitary gate folded to the given
+// odd scale: scale 1 is the identity transformation, scale 3 replaces
+// each gate G by G·G†·G, scale 5 by G·(G†·G)², etc. Measurements and
+// barriers pass through. Folding preserves the circuit's unitary exactly
+// while multiplying its gate count (and so its noise exposure) by scale.
+func Fold(c *circuit.Circuit, scale int) (*circuit.Circuit, error) {
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if scale < 1 || scale%2 == 0 {
+		return nil, fmt.Errorf("zne: scale %d must be odd and >= 1", scale)
+	}
+	out := circuit.New(fmt.Sprintf("%s-zne%d", c.Name, scale), c.N)
+	for _, g := range c.Gates {
+		if !g.Kind.IsUnitary() || g.Kind == circuit.I {
+			out.Append(g.Clone())
+			continue
+		}
+		out.Append(g.Clone())
+		for rep := 0; rep < (scale-1)/2; rep++ {
+			// Barriers pin the folded segments in place: without them the
+			// transpiler's peephole optimizer would cancel G·G† pairs and
+			// silently undo the noise amplification (real ZNE stacks
+			// disable optimization the same way).
+			out.Barrier(g.Qubits...)
+			inv, err := invertGate(g)
+			if err != nil {
+				return nil, err
+			}
+			for _, ig := range inv {
+				out.Append(ig)
+			}
+			out.Barrier(g.Qubits...)
+			out.Append(g.Clone())
+		}
+	}
+	return out.Finalize()
+}
+
+// invertGate returns g⁻¹ as a gate sequence. Clifford gates use the
+// library inverter; rotations negate their angles.
+func invertGate(g circuit.Gate) ([]circuit.Gate, error) {
+	switch g.Kind {
+	case circuit.RX, circuit.RY, circuit.RZ:
+		return []circuit.Gate{{
+			Kind:   g.Kind,
+			Qubits: append([]int(nil), g.Qubits...),
+			Params: []float64{-g.Params[0]},
+		}}, nil
+	case circuit.U3:
+		// U3(θ,φ,λ)⁻¹ = U3(-θ,-λ,-φ).
+		return []circuit.Gate{{
+			Kind:   circuit.U3,
+			Qubits: append([]int(nil), g.Qubits...),
+			Params: []float64{-g.Params[0], -g.Params[2], -g.Params[1]},
+		}}, nil
+	case circuit.T:
+		return []circuit.Gate{{Kind: circuit.Tdg, Qubits: append([]int(nil), g.Qubits...)}}, nil
+	case circuit.Tdg:
+		return []circuit.Gate{{Kind: circuit.T, Qubits: append([]int(nil), g.Qubits...)}}, nil
+	case circuit.CCX, circuit.CSWAP:
+		return []circuit.Gate{g.Clone()}, nil // self-inverse
+	default:
+		return clifford.InvertGate(g)
+	}
+}
+
+// Point is one (noise scale, measured value) sample.
+type Point struct {
+	Scale float64
+	Value float64
+}
+
+// ExtrapolateLinear fits value = a + b·scale by least squares and returns
+// the zero-noise intercept a. At least two distinct scales are required.
+func ExtrapolateLinear(points []Point) (float64, error) {
+	if len(points) < 2 {
+		return 0, fmt.Errorf("zne: need >= 2 points, got %d", len(points))
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range points {
+		sx += p.Scale
+		sy += p.Value
+		sxx += p.Scale * p.Scale
+		sxy += p.Scale * p.Value
+	}
+	n := float64(len(points))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("zne: degenerate scales (all equal)")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	return a, nil
+}
+
+// ExtrapolateExp fits the exponential-decay model value = a·e^(b·scale)
+// by log-linear least squares and returns the zero-noise value a. All
+// sample values must be positive. This is the right model for success
+// probabilities, which decay geometrically with the folded gate count
+// (each fold multiplies the survival probability), where the linear model
+// systematically under-extrapolates.
+func ExtrapolateExp(points []Point) (float64, error) {
+	logged := make([]Point, len(points))
+	for i, p := range points {
+		if p.Value <= 0 {
+			return 0, fmt.Errorf("zne: exponential fit needs positive values, got %v", p.Value)
+		}
+		logged[i] = Point{Scale: p.Scale, Value: math.Log(p.Value)}
+	}
+	a, err := ExtrapolateLinear(logged)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(a), nil
+}
+
+// ExtrapolateRichardson performs Richardson extrapolation through all the
+// points (exact polynomial through the samples, evaluated at scale 0).
+// Scales must be distinct. With many noisy samples prefer the linear fit;
+// Richardson amplifies sampling noise with its high-order terms.
+func ExtrapolateRichardson(points []Point) (float64, error) {
+	if len(points) < 2 {
+		return 0, fmt.Errorf("zne: need >= 2 points, got %d", len(points))
+	}
+	pts := append([]Point(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Scale < pts[j].Scale })
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Scale == pts[i-1].Scale {
+			return 0, fmt.Errorf("zne: duplicate scale %v", pts[i].Scale)
+		}
+	}
+	// Lagrange interpolation evaluated at 0.
+	var out float64
+	for i, pi := range pts {
+		w := 1.0
+		for j, pj := range pts {
+			if i == j {
+				continue
+			}
+			w *= pj.Scale / (pj.Scale - pi.Scale)
+		}
+		out += w * pi.Value
+	}
+	return out, nil
+}
