@@ -1,0 +1,34 @@
+# Q-BEEP build / verification targets. `make ci` is what a pipeline runs.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# vet = go vet + gofmt drift check (fails listing any unformatted file).
+vet:
+	$(GO) vet ./...
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# race covers the packages with real concurrency or lock-cheap atomics:
+# the obs registry/sinks, the parallel fan-out, and the mitigation core
+# they instrument.
+race:
+	$(GO) test -race ./internal/obs ./internal/par ./internal/core
+
+# bench-smoke: one short pass over the mitigation hot path to catch
+# gross regressions (the observability layer must stay ~free when off).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkMitigateThroughput' -benchtime 1x .
+
+ci: vet test race bench-smoke

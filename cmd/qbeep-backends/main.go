@@ -16,6 +16,7 @@ import (
 
 	"qbeep"
 	"qbeep/internal/device"
+	"qbeep/internal/obs"
 )
 
 func main() {
@@ -27,10 +28,14 @@ func main() {
 
 func run() error {
 	var (
-		export = flag.String("export", "", "backend name to export as JSON, or 'all'")
-		outDir = flag.String("o", ".", "output directory for -export all")
+		export   = flag.String("export", "", "backend name to export as JSON, or 'all'")
+		outDir   = flag.String("o", ".", "output directory for -export all")
+		logFlags = obs.AddLogFlags(nil)
 	)
 	flag.Parse()
+	if err := logFlags.Apply(os.Stderr); err != nil {
+		return err
+	}
 
 	if *export == "" {
 		infos, err := qbeep.Backends()

@@ -17,8 +17,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"qbeep/internal/experiments"
+	"qbeep/internal/obs"
 )
 
 func main() {
@@ -30,13 +32,26 @@ func main() {
 
 func run() error {
 	var (
-		figs   = flag.String("fig", "all", "comma-separated figure ids (1,2,4,6,7,8,9,10,11), 'ablations', or 'all'")
-		scale  = flag.Float64("scale", 1, "corpus scale in (0,1]")
-		shots  = flag.Int("shots", 4096, "shots per circuit")
-		seed   = flag.Uint64("seed", 20230617, "root RNG seed")
-		csvDir = flag.String("csv", "", "directory for per-figure CSV dumps (created if missing)")
+		figs      = flag.String("fig", "all", "comma-separated figure ids (1,2,4,6,7,8,9,10,11), 'ablations', or 'all'")
+		scale     = flag.Float64("scale", 1, "corpus scale in (0,1]")
+		shots     = flag.Int("shots", 4096, "shots per circuit")
+		seed      = flag.Uint64("seed", 20230617, "root RNG seed")
+		csvDir    = flag.String("csv", "", "directory for per-figure CSV dumps (created if missing)")
+		report    = flag.String("report", "", "write a machine-readable JSON run report to this path ('-' = stderr)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof/ and /debug/vars on this address (e.g. localhost:6060)")
+		logFlags  = obs.AddLogFlags(nil)
 	)
 	flag.Parse()
+	if err := logFlags.Apply(os.Stderr); err != nil {
+		return err
+	}
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("starting debug server: %w", err)
+		}
+		defer ds.Close()
+	}
 
 	cfg := experiments.Config{
 		Seed:  *seed,
@@ -151,13 +166,45 @@ func run() error {
 		return err
 	}})
 
+	runReport := experiments.NewRunReport(cfg, time.Now())
+	writeReport := func() error {
+		if *report == "" {
+			return nil
+		}
+		runReport.Finalize()
+		if *report == "-" {
+			return runReport.Write(os.Stderr)
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		if err := runReport.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote run report %s\n", *report)
+		return nil
+	}
+
 	ran := 0
 	for _, r := range runners {
 		if !selected[r.id] {
 			continue
 		}
 		fmt.Printf("\n==== Figure %s ====\n", r.id)
-		if err := r.run(cfg); err != nil {
+		t0 := time.Now()
+		err := r.run(cfg)
+		runReport.AddFigure(r.id, time.Since(t0), err)
+		if err != nil {
+			// The partial report still lands on disk so a crashed sweep
+			// keeps its timing evidence.
+			if werr := writeReport(); werr != nil {
+				obs.Logger().Warn("writing run report failed", "err", werr)
+			}
 			return fmt.Errorf("figure %s: %w", r.id, err)
 		}
 		ran++
@@ -165,5 +212,5 @@ func run() error {
 	if ran == 0 {
 		return fmt.Errorf("no figures selected (got -fig %q)", *figs)
 	}
-	return nil
+	return writeReport()
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"qbeep"
+	"qbeep/internal/obs"
 	"qbeep/internal/results"
 )
 
@@ -34,8 +35,12 @@ func run() error {
 		ideal    = flag.Bool("ideal", false, "emit the noiseless distribution instead")
 		meta     = flag.Bool("meta", false, "wrap counts in the metadata envelope (backend, shots, lambda)")
 		outPath  = flag.String("o", "", "output path (default stdout)")
+		logFlags = obs.AddLogFlags(nil)
 	)
 	flag.Parse()
+	if err := logFlags.Apply(os.Stderr); err != nil {
+		return err
+	}
 	if *qasmPath == "" {
 		return fmt.Errorf("-qasm is required")
 	}

@@ -22,11 +22,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"qbeep"
 	"qbeep/internal/bitstring"
 	"qbeep/internal/core"
+	"qbeep/internal/obs"
 	"qbeep/internal/results"
 )
 
@@ -47,8 +49,13 @@ func run() error {
 		epsilon    = flag.Float64("epsilon", 0.05, "edge threshold ε")
 		dotPath    = flag.String("dot", "", "also write the pre-mitigation state graph as Graphviz DOT")
 		outPath    = flag.String("o", "", "output path (default stdout)")
+		tracePath  = flag.String("trace", "", "write per-iteration mitigation stats as JSON lines ('-' = stderr)")
+		logFlags   = obs.AddLogFlags(nil)
 	)
 	flag.Parse()
+	if err := logFlags.Apply(os.Stderr); err != nil {
+		return err
+	}
 
 	if *countsPath == "" {
 		return fmt.Errorf("-counts is required")
@@ -64,7 +71,7 @@ func run() error {
 		// The counts envelope already carries a pre-induction estimate
 		// (qbeep-sim -meta writes it).
 		lam = file.Lambda
-		fmt.Fprintf(os.Stderr, "using lambda %.4f from %s\n", lam, *countsPath)
+		obs.Logger().Info("using lambda from counts envelope", "lambda", lam, "path", *countsPath)
 	}
 	if lam < 0 {
 		if *qasmPath == "" || *backend == "" {
@@ -79,8 +86,8 @@ func run() error {
 			return err
 		}
 		lam = est.Total()
-		fmt.Fprintf(os.Stderr, "estimated lambda = %.4f (T1 %.4f, T2 %.4f, gates %.4f; t = %.2e s)\n",
-			lam, est.T1, est.T2, est.Gates, est.Time)
+		obs.Logger().Info("estimated lambda",
+			"lambda", lam, "t1", est.T1, "t2", est.T2, "gates", est.Gates, "schedule_s", est.Time)
 	}
 
 	if *dotPath != "" {
@@ -103,13 +110,30 @@ func run() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "%s -> %s\n", g.Stats(), *dotPath)
+		obs.Logger().Info("wrote state graph", "stats", g.Stats().String(), "path", *dotPath)
 	}
 
 	opts := qbeep.Options{Iterations: *iterations, Epsilon: *epsilon}
+	var tracer *traceRecorder
+	if *tracePath != "" {
+		var tw io.Writer = os.Stderr
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tw = f
+		}
+		tracer = &traceRecorder{w: tw}
+		opts.OnIteration = tracer.onIteration
+	}
 	mitigated, err := qbeep.Mitigate(counts, lam, opts)
 	if err != nil {
 		return err
+	}
+	if tracer != nil && tracer.err != nil {
+		return fmt.Errorf("writing -trace output: %w", tracer.err)
 	}
 	out, err := json.MarshalIndent(mitigated, "", "  ")
 	if err != nil {

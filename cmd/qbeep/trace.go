@@ -1,0 +1,36 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qbeep"
+)
+
+// writeTraceLine renders one per-iteration stats record as a single
+// NDJSON line — the -trace output format. Keys: iteration, eta,
+// flow_moved, l1_delta, vertices, edges, duration_ns.
+func writeTraceLine(w io.Writer, st qbeep.IterationStats) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// traceRecorder funnels iteration stats to w, remembering the first
+// write error so the mitigation loop (which has no error channel for
+// observers) never aborts mid-run.
+type traceRecorder struct {
+	w   io.Writer
+	err error
+}
+
+func (t *traceRecorder) onIteration(st qbeep.IterationStats) {
+	if t.err != nil {
+		return
+	}
+	t.err = writeTraceLine(t.w, st)
+}

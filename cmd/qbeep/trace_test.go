@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qbeep"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// fixedTrace is a deterministic stand-in for a 3-iteration run (durations
+// pinned so the golden bytes are stable).
+func fixedTrace() []qbeep.IterationStats {
+	return []qbeep.IterationStats{
+		{Iteration: 1, Eta: 1, FlowMoved: 812.5, L1Delta: 625.25, Vertices: 87, Edges: 341, Duration: 1500 * time.Microsecond},
+		{Iteration: 2, Eta: 0.5, FlowMoved: 120.125, L1Delta: 60.5, Vertices: 87, Edges: 341, Duration: 1250 * time.Microsecond},
+		{Iteration: 3, Eta: 0.25, FlowMoved: 14.75, L1Delta: 3.125, Vertices: 87, Edges: 341, Duration: 1100 * time.Microsecond},
+	}
+}
+
+// TestTraceGolden pins the -trace NDJSON shape: one object per
+// iteration with iteration, eta, flow_moved, l1_delta, vertices, edges
+// and duration_ns keys.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, st := range fixedTrace() {
+		if err := writeTraceLine(&buf, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goldenPath := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceEndToEnd runs a real mitigation with the trace hook attached
+// and validates every emitted line is well-formed JSON with sane values.
+func TestTraceEndToEnd(t *testing.T) {
+	counts := map[string]float64{
+		"1011": 3800, "1010": 120, "0011": 88, "1111": 60, "0000": 12,
+	}
+	var buf bytes.Buffer
+	tracer := &traceRecorder{w: &buf}
+	opts := qbeep.NewOptions()
+	opts.OnIteration = tracer.onIteration
+	if _, err := qbeep.Mitigate(counts, 1.2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.err != nil {
+		t.Fatal(tracer.err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != opts.Iterations {
+		t.Fatalf("got %d trace lines, want %d", len(lines), opts.Iterations)
+	}
+	for i, line := range lines {
+		var rec struct {
+			Iteration  int     `json:"iteration"`
+			Eta        float64 `json:"eta"`
+			FlowMoved  float64 `json:"flow_moved"`
+			L1Delta    float64 `json:"l1_delta"`
+			Vertices   int     `json:"vertices"`
+			Edges      int     `json:"edges"`
+			DurationNS int64   `json:"duration_ns"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if rec.Iteration != i+1 {
+			t.Fatalf("line %d: iteration = %d", i, rec.Iteration)
+		}
+		if rec.Eta <= 0 || rec.Eta > 1 {
+			t.Fatalf("line %d: eta = %v", i, rec.Eta)
+		}
+		if rec.Vertices != 5 {
+			t.Fatalf("line %d: vertices = %d, want 5", i, rec.Vertices)
+		}
+		if rec.FlowMoved < 0 || rec.L1Delta < 0 || rec.DurationNS < 0 {
+			t.Fatalf("line %d: negative stats: %+v", i, rec)
+		}
+	}
+}
+
+func TestTraceRecorderStopsOnWriteError(t *testing.T) {
+	tracer := &traceRecorder{w: failWriter{}}
+	tracer.onIteration(qbeep.IterationStats{Iteration: 1})
+	tracer.onIteration(qbeep.IterationStats{Iteration: 2})
+	if tracer.err == nil {
+		t.Fatal("write error not captured")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }

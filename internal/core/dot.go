@@ -51,22 +51,27 @@ func (g *StateGraph) WriteDOT(w io.Writer, maxEdges int) error {
 type Stats struct {
 	Vertices int
 	Edges    int
-	Radius   int
-	Total    float64
+	// PrunedEdges counts candidate pairs inside the model radius whose
+	// weight fell below the ε threshold — the mass the scalability rule
+	// dropped (ISSUE: graph size under ε = 0.05).
+	PrunedEdges int
+	Radius      int
+	Total       float64
 }
 
 // Stats returns the graph's summary statistics.
 func (g *StateGraph) Stats() Stats {
 	return Stats{
-		Vertices: len(g.nodes),
-		Edges:    len(g.edges),
-		Radius:   g.radius,
-		Total:    g.total,
+		Vertices:    len(g.nodes),
+		Edges:       len(g.edges),
+		PrunedEdges: g.pruned,
+		Radius:      g.radius,
+		Total:       g.total,
 	}
 }
 
 // String implements fmt.Stringer for quick logging.
 func (s Stats) String() string {
-	return fmt.Sprintf("state graph: %d vertices, %d edges, radius %d, mass %.0f",
-		s.Vertices, s.Edges, s.Radius, s.Total)
+	return fmt.Sprintf("state graph: %d vertices, %d edges (%d pruned), radius %d, mass %.0f",
+		s.Vertices, s.Edges, s.PrunedEdges, s.Radius, s.Total)
 }

@@ -2,9 +2,32 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"qbeep/internal/bitstring"
+	"qbeep/internal/obs"
 )
+
+// IterationStats is the per-iteration observability record the mitigation
+// loop hands to Options.OnIteration (and, through cmd/qbeep -trace, to
+// users): where probability mass moved and how fast the fixed point is
+// approached (paper Fig. 7(c) territory, without needing an ideal
+// distribution).
+type IterationStats struct {
+	// Iteration is 1-based.
+	Iteration int `json:"iteration"`
+	// Eta is the learning rate used this iteration.
+	Eta float64 `json:"eta"`
+	// FlowMoved is the gross mass carried along edges.
+	FlowMoved float64 `json:"flow_moved"`
+	// L1Delta is the net per-vertex change Σ|Δcount| (≈ 0 at convergence).
+	L1Delta float64 `json:"l1_delta"`
+	// Vertices and Edges describe the state graph under the ε threshold.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Duration is the wall time of this iteration.
+	Duration time.Duration `json:"duration_ns"`
+}
 
 // Options configures the iterative mitigation. NewOptions returns the
 // paper's published configuration (§4.1): ε = 0.05, 20 iterations,
@@ -21,6 +44,10 @@ type Options struct {
 	// Weighter is the edge model; nil selects PoissonEdges with the λ
 	// passed to Mitigate.
 	Weighter EdgeWeighter
+	// OnIteration, when non-nil, receives one IterationStats per update
+	// round. Per-iteration wall clocks are only taken when set, so the
+	// nil default costs nothing.
+	OnIteration func(IterationStats)
 }
 
 // NewOptions returns the paper's default configuration.
@@ -76,6 +103,8 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 	if w == nil {
 		w = PoissonEdges{Lambda: lambda}
 	}
+	sp := obs.StartSpan("core.mitigate")
+	stop := metMitigate.Start()
 	g, err := BuildStateGraph(counts, w, opts.Epsilon)
 	if err != nil {
 		return nil, nil, err
@@ -84,12 +113,40 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 	if ideal != nil {
 		trace = append(trace, bitstring.Fidelity(ideal, counts))
 	}
+	var last StepStats
 	for i := 1; i <= opts.Iterations; i++ {
-		g.Step(opts.LearningRate(i))
+		eta := opts.LearningRate(i)
+		var t0 time.Time
+		if opts.OnIteration != nil {
+			t0 = time.Now()
+		}
+		last = g.Step(eta)
+		if opts.OnIteration != nil {
+			opts.OnIteration(IterationStats{
+				Iteration: i,
+				Eta:       eta,
+				FlowMoved: last.FlowMoved,
+				L1Delta:   last.L1Delta,
+				Vertices:  g.NumVertices(),
+				Edges:     g.NumEdges(),
+				Duration:  time.Since(t0),
+			})
+		}
 		if ideal != nil {
 			trace = append(trace, bitstring.Fidelity(ideal, g.Dist()))
 		}
 	}
 	out := g.Dist().Normalized(counts.Total())
+	stop()
+	metMitigateRuns.Inc()
+	metMitigateIters.Add(int64(opts.Iterations))
+	metFlowMoved.Observe(last.FlowMoved)
+	metFinalL1.Observe(last.L1Delta)
+	sp.SetAttr("iterations", opts.Iterations)
+	sp.SetAttr("vertices", g.NumVertices())
+	sp.End()
+	obs.Logger().Debug("mitigation finished",
+		"iterations", opts.Iterations, "vertices", g.NumVertices(),
+		"edges", g.NumEdges(), "final_l1_delta", last.L1Delta)
 	return out, trace, nil
 }

@@ -1,0 +1,19 @@
+package core
+
+import "qbeep/internal/obs"
+
+// Package-level metric handles: resolved once so hot paths pay a single
+// atomic op per update (see internal/obs).
+var (
+	metGraphBuild  = obs.Default.Timer("core.graph.build")
+	metGraphVerts  = obs.Default.Gauge("core.graph.vertices")
+	metGraphEdges  = obs.Default.Gauge("core.graph.edges")
+	metGraphPruned = obs.Default.Gauge("core.graph.pruned_edges")
+	metGraphRadius = obs.Default.Gauge("core.graph.radius")
+
+	metMitigateRuns  = obs.Default.Counter("core.mitigate.runs")
+	metMitigateIters = obs.Default.Counter("core.mitigate.iterations")
+	metMitigate      = obs.Default.Timer("core.mitigate")
+	metFlowMoved     = obs.Default.Histogram("core.mitigate.flow_moved")
+	metFinalL1       = obs.Default.Histogram("core.mitigate.final_l1_delta")
+)

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"qbeep/internal/bitstring"
 	"qbeep/internal/mathx"
+	"qbeep/internal/obs"
 )
 
 // EdgeWeighter maps a Hamming distance to a reclassification weight. The
@@ -103,6 +105,7 @@ type StateGraph struct {
 	total      float64
 	radius     int
 	selfWeight float64 // model weight at distance 0 (the "stay" term)
+	pruned     int     // candidate pairs within radius dropped by the ε threshold
 }
 
 // BuildStateGraph constructs the graph from raw counts under the given
@@ -118,6 +121,8 @@ func BuildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*Stat
 	if w == nil {
 		return nil, fmt.Errorf("core: nil edge weighter")
 	}
+	sp := obs.StartSpan("core.graph.build")
+	t0 := time.Now()
 	g := &StateGraph{n: counts.Width(), total: counts.Total(), selfWeight: w.Weight(0)}
 	outcomes := counts.Outcomes()
 	g.nodes = make([]node, len(outcomes))
@@ -146,6 +151,7 @@ func BuildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*Stat
 			}
 			wt := w.Weight(d)
 			if wt < eps {
+				g.pruned++
 				continue
 			}
 			perString := wt / float64(bitstring.SphereSize(g.n, d))
@@ -154,6 +160,19 @@ func BuildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*Stat
 			g.adj[j] = append(g.adj[j], len(g.edges)-1)
 		}
 	}
+	elapsed := time.Since(t0)
+	metGraphBuild.ObserveDuration(elapsed)
+	metGraphVerts.Set(float64(len(g.nodes)))
+	metGraphEdges.Set(float64(len(g.edges)))
+	metGraphPruned.Set(float64(g.pruned))
+	metGraphRadius.Set(float64(g.radius))
+	sp.SetAttr("vertices", len(g.nodes))
+	sp.SetAttr("edges", len(g.edges))
+	sp.SetAttr("pruned", g.pruned)
+	sp.End()
+	obs.Logger().Debug("state graph built",
+		"vertices", len(g.nodes), "edges", len(g.edges), "pruned", g.pruned,
+		"radius", g.radius, "width", g.n, "elapsed", elapsed)
 	return g, nil
 }
 
@@ -195,9 +214,12 @@ func (g *StateGraph) Dist() *bitstring.Dist {
 // distribution is left alone, while a small error node adjacent to a
 // dominant string hands essentially all of its counts over — the behavior
 // §5 of the paper describes.
-func (g *StateGraph) Step(eta float64) {
+//
+// The returned StepStats reports how much mass actually moved, so callers
+// can observe convergence without re-diffing distributions.
+func (g *StateGraph) Step(eta float64) StepStats {
 	if g.total <= 0 {
-		return
+		return StepStats{}
 	}
 	nV := len(g.nodes)
 	prob := make([]float64, nV)
@@ -242,11 +264,13 @@ func (g *StateGraph) Step(eta float64) {
 		}
 	}
 	delta := make([]float64, nV)
+	var st StepStats
 	for ei, e := range g.edges {
 		fab := flowAB[ei] * scale[e.a]
 		fba := flowBA[ei] * scale[e.b]
 		delta[e.a] += fba - fab
 		delta[e.b] += fab - fba
+		st.FlowMoved += fab + fba
 	}
 	g.total = 0
 	for i := range g.nodes {
@@ -254,9 +278,25 @@ func (g *StateGraph) Step(eta float64) {
 		if c < 0 {
 			c = 0
 		}
+		if d := c - g.nodes[i].count; d >= 0 {
+			st.L1Delta += d
+		} else {
+			st.L1Delta -= d
+		}
 		g.nodes[i].count = c
 		g.total += c
 	}
+	return st
+}
+
+// StepStats summarizes one reclassification iteration.
+type StepStats struct {
+	// FlowMoved is the gross mass carried along edges (both directions,
+	// after the overflow cap).
+	FlowMoved float64
+	// L1Delta is Σ_i |Δcount_i|: the net per-vertex change actually
+	// applied, the natural convergence signal (≈ 0 at the fixed point).
+	L1Delta float64
 }
 
 // Vertices returns the observed strings sorted ascending (testing/debug).

@@ -38,6 +38,7 @@ func Ablations(cfg Config) (*AblationResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	defer figureSpan("ablations")()
 	w, err := algorithms.BernsteinVazirani(10, 0b1011010011)
 	if err != nil {
 		return nil, err

@@ -49,6 +49,7 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	defer figureSpan("7")()
 	rng := cfg.rng(7)
 	backends, err := device.CatalogSubset(8, 16)
 	if err != nil {

@@ -47,6 +47,7 @@ func Figure10(cfg Config) (*Figure10Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	defer figureSpan("10")()
 	rng := cfg.rng(10)
 	count := cfg.scaled(340, 8)
 	instances, err := qaoa.Dataset(count, 6, 12, 3, rng)

@@ -38,6 +38,7 @@ func RunQASMBench(cfg Config) (*QASMBenchResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	defer figureSpan("8/9/11")()
 	rng := cfg.rng(8)
 	backends, err := device.Catalog()
 	if err != nil {

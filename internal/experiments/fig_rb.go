@@ -41,6 +41,7 @@ func Figure4(cfg Config) (*Figure4Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	defer figureSpan("4")()
 	rng := cfg.rng(4)
 	res := &Figure4Result{}
 

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"qbeep/internal/obs"
+)
+
+// figureSpan logs the start of a figure runner at info level and returns
+// the completion hook: defer figureSpan("7")(). Long runs stop being
+// silent (the CLI's -log-level defaults to info), while library and test
+// use stays quiet under the default discarding logger.
+func figureSpan(id string) func() {
+	t0 := time.Now()
+	obs.Logger().Info("figure start", "figure", id)
+	return func() {
+		obs.Logger().Info("figure done", "figure", id, "elapsed", time.Since(t0))
+	}
+}
+
+// FigureReport is one figure's entry in a RunReport.
+type FigureReport struct {
+	ID        string  `json:"id"`
+	Status    string  `json:"status"` // "ok" or "error"
+	Error     string  `json:"error,omitempty"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	ElapsedS  float64 `json:"elapsed_s"`
+}
+
+// RunReport is the machine-readable summary cmd/qbeep-experiments emits
+// with -report: which figures ran, how long each took, the configuration
+// that produced them, and a snapshot of the obs metrics registry so a
+// run's cost profile travels with its results.
+type RunReport struct {
+	Started        time.Time      `json:"started"`
+	Seed           uint64         `json:"seed"`
+	Shots          int            `json:"shots"`
+	Scale          float64        `json:"scale"`
+	Figures        []FigureReport `json:"figures"`
+	TotalElapsedNS int64          `json:"total_elapsed_ns"`
+	TotalElapsedS  float64        `json:"total_elapsed_s"`
+	Metrics        map[string]any `json:"metrics,omitempty"`
+}
+
+// NewRunReport starts a report for the given configuration.
+func NewRunReport(cfg Config, started time.Time) *RunReport {
+	return &RunReport{
+		Started: started,
+		Seed:    cfg.Seed,
+		Shots:   cfg.Shots,
+		Scale:   cfg.Scale,
+	}
+}
+
+// AddFigure records one figure's outcome.
+func (r *RunReport) AddFigure(id string, elapsed time.Duration, err error) {
+	fr := FigureReport{
+		ID:        id,
+		Status:    "ok",
+		ElapsedNS: elapsed.Nanoseconds(),
+		ElapsedS:  elapsed.Seconds(),
+	}
+	if err != nil {
+		fr.Status = "error"
+		fr.Error = err.Error()
+	}
+	r.Figures = append(r.Figures, fr)
+	r.TotalElapsedNS += elapsed.Nanoseconds()
+	r.TotalElapsedS += elapsed.Seconds()
+}
+
+// Finalize attaches the current obs metrics snapshot.
+func (r *RunReport) Finalize() {
+	r.Metrics = obs.Default.Snapshot()
+}
+
+// Write emits the report as indented JSON.
+func (r *RunReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"qbeep/internal/algorithms"
 	"qbeep/internal/bitstring"
@@ -10,6 +11,7 @@ import (
 	"qbeep/internal/hammer"
 	"qbeep/internal/mathx"
 	"qbeep/internal/noise"
+	"qbeep/internal/obs"
 )
 
 // Outcome bundles one circuit induction with all three post-processing
@@ -28,8 +30,11 @@ type Outcome struct {
 // runWorkload executes the workload on the backend under the default
 // hardware-like noise model and applies Q-BEEP (Eq. 2 λ) and HAMMER.
 // track enables the per-iteration fidelity trace (costs one fidelity
-// evaluation per iteration).
+// evaluation per iteration). Every completed workload is logged at info
+// level (circuit, backend, elapsed) — the progress feed for multi-minute
+// figure runs.
 func runWorkload(w *algorithms.Workload, b *device.Backend, shots int, rng *mathx.RNG, track bool) (*Outcome, error) {
+	t0 := time.Now()
 	exec, err := noise.NewExecutor(b, noise.DefaultModel())
 	if err != nil {
 		return nil, err
@@ -65,6 +70,9 @@ func runWorkload(w *algorithms.Workload, b *device.Backend, shots int, rng *math
 	if err != nil {
 		return nil, err
 	}
+	obs.Logger().Info("workload done",
+		"circuit", w.Circuit.Name, "backend", b.Name,
+		"shots", shots, "elapsed", time.Since(t0))
 	return &Outcome{
 		Workload: w,
 		Backend:  b,

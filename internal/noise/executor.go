@@ -3,13 +3,25 @@ package noise
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"qbeep/internal/bitstring"
 	"qbeep/internal/circuit"
 	"qbeep/internal/device"
 	"qbeep/internal/mathx"
+	"qbeep/internal/obs"
 	"qbeep/internal/statevector"
 	"qbeep/internal/transpile"
+)
+
+// Induction metrics (see internal/obs): sampling throughput plus the
+// correlated-burst channel's realized event stream.
+var (
+	metExecute     = obs.Default.Timer("noise.execute")
+	metShots       = obs.Default.Counter("noise.shots")
+	metShotsPerSec = obs.Default.Gauge("noise.shots_per_sec")
+	metBurstEvents = obs.Default.Counter("noise.burst.events")
+	metBurstFlips  = obs.Default.Counter("noise.burst.flips")
 )
 
 // Run is the outcome of a noisy induction: the raw logical counts, the
@@ -73,7 +85,21 @@ func (e *Executor) ExecuteTranspiled(logical *circuit.Circuit, res *transpile.Re
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("noise.execute")
+	t0 := time.Now()
 	counts := e.sampleNoisy(logical, ideal, res, rates, shots, rng)
+	elapsed := time.Since(t0)
+	metExecute.ObserveDuration(elapsed)
+	metShots.Add(int64(shots))
+	if secs := elapsed.Seconds(); secs > 0 {
+		metShotsPerSec.Set(float64(shots) / secs)
+	}
+	sp.SetAttr("circuit", logical.Name)
+	sp.SetAttr("shots", shots)
+	sp.End()
+	obs.Logger().Debug("noisy induction",
+		"circuit", logical.Name, "backend", e.backend.Name,
+		"shots", shots, "elapsed", elapsed)
 	return &Run{
 		Counts:     counts,
 		Ideal:      ideal,
@@ -194,6 +220,9 @@ func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 	}
 
 	counts := bitstring.NewDist(n)
+	// Burst tallies accumulate locally and flush to the registry once per
+	// induction, keeping the per-shot loop free of shared-memory traffic.
+	var burstEvents, burstFlips int64
 	for s := 0; s < shots; s++ {
 		v := sampleIdeal()
 		// Per-shot drift of device conditions (non-Markovian, §3.1): one
@@ -233,6 +262,8 @@ func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 			}
 			k := pois.Sample(rng.Float64)
 			if k > 0 {
+				burstEvents++
+				burstFlips += int64(k)
 				if e.model.BurstWalk {
 					q := rng.Intn(n)
 					for i := 0; i < k; i++ {
@@ -257,6 +288,10 @@ func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 			}
 		}
 		counts.Add(v, 1)
+	}
+	if burstEvents > 0 {
+		metBurstEvents.Add(burstEvents)
+		metBurstFlips.Add(burstFlips)
 	}
 	return counts
 }

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer serves the runtime profiling and metrics endpoints:
+// /debug/pprof/ (net/http/pprof) and /debug/vars (expvar, including the
+// Default metrics registry as "qbeep_metrics").
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug publishes the Default registry to expvar and starts the
+// debug HTTP server on addr (e.g. "localhost:6060"; a ":0" port picks a
+// free one — read it back from Addr). The server runs until Close.
+func ServeDebug(addr string) (*DebugServer, error) {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// http.ErrServerClosed after Close is the expected shutdown path;
+		// anything else is worth a log line but must not kill the run.
+		if err := ds.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Logger().Warn("debug server stopped", "addr", addr, "err", err)
+		}
+	}()
+	Logger().Info("debug server listening",
+		"addr", ds.Addr(), "pprof", "/debug/pprof/", "vars", "/debug/vars")
+	return ds, nil
+}
+
+// Addr returns the bound address (useful with a ":0" listen port).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"flag"
+	"io"
+)
+
+// LogFlags holds the values of the shared logging flags.
+type LogFlags struct {
+	Level string
+	JSON  bool
+}
+
+// AddLogFlags registers the shared -log-level and -log-json flags on fs
+// (the default flag set when fs is nil) and returns the destination
+// struct. Call Apply after flag parsing.
+func AddLogFlags(fs *flag.FlagSet) *LogFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &LogFlags{}
+	fs.StringVar(&f.Level, "log-level", "info", "log level: debug, info, warn, error, off")
+	fs.BoolVar(&f.JSON, "log-json", false, "emit logs as JSON lines")
+	return f
+}
+
+// Apply configures the process logger from the parsed flags, writing to
+// w (typically os.Stderr). At debug level it also installs the log span
+// sink so pass/stage timings become visible.
+func (f *LogFlags) Apply(w io.Writer) error {
+	if err := Configure(w, f.Level, f.JSON); err != nil {
+		return err
+	}
+	if lv, err := ParseLevel(f.Level); err == nil && lv < 0 { // debug
+		SetSpanSink(LogSink())
+	}
+	return nil
+}

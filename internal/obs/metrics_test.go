@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// get-or-create races, counter adds, gauge sets, histogram observes —
+// and checks the totals. Run under -race (the Makefile race target
+// does).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("gauge").Set(float64(i))
+				r.Histogram("hist").Observe(float64(i))
+				r.Timer("timer").ObserveDuration(time.Microsecond)
+				r.Counter("own").Add(2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("own").Value(); got != 2*workers*perWorker {
+		t.Fatalf("own counter = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := r.Histogram("hist").Count(); got != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", got, workers*perWorker)
+	}
+	if g := r.Gauge("gauge").Value(); g < 0 || g >= perWorker {
+		t.Fatalf("gauge value %v outside [0,%d)", g, perWorker)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2.25)
+	g.Add(-0.75)
+	if v := g.Value(); math.Abs(v-3) > 1e-12 {
+		t.Fatalf("gauge = %v, want 3", v)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..100: exact order statistics under linear interpolation.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.9, 90.1}, {0.99, 99.01},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+}
+
+func TestHistogramWindowSlides(t *testing.T) {
+	var h Histogram
+	// Overflow the window: lifetime min/max keep the early extremes but
+	// quantiles reflect only the recent window.
+	h.Observe(-1000)
+	for i := 0; i < 2*histWindow; i++ {
+		h.Observe(5)
+	}
+	if h.Snapshot().Min != -1000 {
+		t.Fatalf("lifetime min lost: %+v", h.Snapshot())
+	}
+	if q := h.Quantile(0.01); q != 5 {
+		t.Fatalf("windowed quantile = %v, want 5", q)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestTimerStart(t *testing.T) {
+	var tm Timer
+	stop := tm.Start()
+	time.Sleep(time.Millisecond)
+	stop()
+	if tm.Count() != 1 {
+		t.Fatalf("timer count = %d", tm.Count())
+	}
+	if tm.Sum() <= 0 {
+		t.Fatalf("timer sum = %v, want > 0", tm.Sum())
+	}
+}
+
+func TestSnapshotIsJSONMarshalable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(2.5)
+	r.Timer("t").ObserveDuration(3 * time.Millisecond)
+	r.Histogram("h").Observe(7)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"counters", "gauges", "timers_seconds", "histograms"} {
+		if _, ok := back[key]; !ok {
+			t.Fatalf("snapshot missing %q: %s", key, data)
+		}
+	}
+}
+
+// TestCounterDisabledPathAllocs pins the hot-path cost: metric updates
+// must not allocate.
+func TestCounterDisabledPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	g := r.Gauge("hotg")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+	}); n != 0 {
+		t.Fatalf("counter/gauge update allocates %v per op", n)
+	}
+}

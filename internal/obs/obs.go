@@ -1,0 +1,94 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// structured logging (log/slog), a lock-cheap metrics registry
+// (counters, gauges, timers, histograms, exported through expvar), and
+// lightweight span tracing with a pluggable sink.
+//
+// Everything is off by default and designed so that disabled
+// instrumentation costs ~nothing on hot paths: the default logger
+// discards records before formatting them, spans are value types that
+// allocate only when a sink is installed, and metric updates are single
+// atomic operations. CLIs opt in with Configure (or the shared
+// -log-level/-log-json flags from AddLogFlags) and ServeDebug.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// logger holds the process-wide structured logger. The default discards
+// everything (its handler reports every level as disabled), so library
+// code can log unconditionally without polluting test output or paying
+// formatting costs.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(noopHandler{}))
+}
+
+// Logger returns the current structured logger. The result is safe to
+// cache per call site but not across Configure/SetLogger calls.
+func Logger() *slog.Logger {
+	return logger.Load()
+}
+
+// SetLogger installs l as the process-wide logger. A nil l restores the
+// discarding default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(noopHandler{})
+	}
+	logger.Store(l)
+}
+
+// Configure installs a leveled handler writing to w ("text" keys or JSON
+// when jsonFormat is set). level is one of "debug", "info", "warn",
+// "error", or "off" (case-insensitive); "off" restores the discarding
+// default regardless of format.
+func Configure(w io.Writer, level string, jsonFormat bool) error {
+	if strings.EqualFold(level, "off") {
+		SetLogger(nil)
+		return nil
+	}
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	SetLogger(slog.New(h))
+	return nil
+}
+
+// ParseLevel maps a level name to its slog.Level.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, error, or off)", level)
+}
+
+// noopHandler is a slog.Handler whose Enabled always reports false, so
+// disabled logging skips both formatting and the Handle call.
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDefaultLoggerDiscards(t *testing.T) {
+	SetLogger(nil) // restore default
+	l := Logger()
+	if l.Enabled(nil, slog.LevelError) {
+		t.Fatal("default logger should report every level disabled")
+	}
+	l.Error("this must go nowhere")
+}
+
+func TestConfigureLevels(t *testing.T) {
+	defer SetLogger(nil)
+	var buf bytes.Buffer
+	if err := Configure(&buf, "warn", false); err != nil {
+		t.Fatal(err)
+	}
+	Logger().Info("hidden")
+	Logger().Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("leveled output wrong: %q", out)
+	}
+}
+
+func TestConfigureJSON(t *testing.T) {
+	defer SetLogger(nil)
+	var buf bytes.Buffer
+	if err := Configure(&buf, "info", true); err != nil {
+		t.Fatal(err)
+	}
+	Logger().Info("event", "answer", 42)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %q (%v)", buf.String(), err)
+	}
+	if rec["msg"] != "event" || rec["answer"] != float64(42) {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestConfigureOffAndBadLevel(t *testing.T) {
+	defer SetLogger(nil)
+	var buf bytes.Buffer
+	if err := Configure(&buf, "off", false); err != nil {
+		t.Fatal(err)
+	}
+	Logger().Error("nope")
+	if buf.Len() != 0 {
+		t.Fatalf("off level still wrote %q", buf.String())
+	}
+	if err := Configure(&buf, "loud", false); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+func TestAddLogFlags(t *testing.T) {
+	defer SetLogger(nil)
+	defer SetSpanSink(nil)
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	lf := AddLogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lf.Apply(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !Logger().Enabled(nil, slog.LevelDebug) {
+		t.Fatal("debug level not applied")
+	}
+	if !TracingEnabled() {
+		t.Fatal("debug level should install the log span sink")
+	}
+}
+
+// TestServeDebug is the acceptance check for -debug-addr: the server
+// must answer /debug/pprof/ and /debug/vars, and the vars payload must
+// include the obs metrics registry.
+func TestServeDebug(t *testing.T) {
+	Default.Counter("test.debug.hits").Inc()
+	ds, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + ds.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index looks wrong: %.200s", body)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "qbeep_metrics") || !strings.Contains(vars, "test.debug.hits") {
+		t.Fatalf("expvar missing metrics registry: %.300s", vars)
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanEvent is the record a sink receives when a span ends.
+type SpanEvent struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// SpanSink receives completed spans. Implementations must be safe for
+// concurrent use.
+type SpanSink interface {
+	OnSpan(SpanEvent)
+}
+
+// SinkFunc adapts a function to the SpanSink interface.
+type SinkFunc func(SpanEvent)
+
+// OnSpan implements SpanSink.
+func (f SinkFunc) OnSpan(e SpanEvent) { f(e) }
+
+// sinkBox wraps the interface so a single atomic pointer can swap it.
+type sinkBox struct {
+	sink SpanSink
+}
+
+var spanSink atomic.Pointer[sinkBox]
+
+// SetSpanSink installs the destination for completed spans; nil disables
+// tracing (the default). While disabled, StartSpan returns an inert Span
+// whose methods are no-ops and allocate nothing.
+func SetSpanSink(s SpanSink) {
+	if s == nil {
+		spanSink.Store(nil)
+		return
+	}
+	spanSink.Store(&sinkBox{sink: s})
+}
+
+// TracingEnabled reports whether a span sink is installed.
+func TracingEnabled() bool {
+	b := spanSink.Load()
+	return b != nil && b.sink != nil
+}
+
+// Span is a lightweight timed region. The zero value (returned by
+// StartSpan while tracing is disabled) is inert.
+type Span struct {
+	name  string
+	start time.Time
+	sink  SpanSink
+	attrs []Attr
+}
+
+// StartSpan begins a span. The sink is captured at start so a span
+// outlives sink swaps consistently.
+func StartSpan(name string) Span {
+	b := spanSink.Load()
+	if b == nil || b.sink == nil {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now(), sink: b.sink}
+}
+
+// SetAttr attaches an attribute to the span; a no-op when inert.
+func (s *Span) SetAttr(key string, value any) {
+	if s.sink == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End completes the span and delivers it to the sink; a no-op when
+// inert.
+func (s *Span) End() {
+	if s.sink == nil {
+		return
+	}
+	s.sink.OnSpan(SpanEvent{
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    s.attrs,
+	})
+	s.sink = nil
+}
+
+// CollectorSink accumulates span events in memory — the test and
+// debug-dump sink.
+type CollectorSink struct {
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+// OnSpan implements SpanSink.
+func (c *CollectorSink) OnSpan(e SpanEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the collected spans.
+func (c *CollectorSink) Events() []SpanEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanEvent(nil), c.events...)
+}
+
+// LogSink forwards completed spans to the structured logger at debug
+// level.
+func LogSink() SpanSink {
+	return SinkFunc(func(e SpanEvent) {
+		args := []any{"span", e.Name, "duration", e.Duration}
+		for _, a := range e.Attrs {
+			args = append(args, a.Key, a.Value)
+		}
+		Logger().Debug("span end", args...)
+	})
+}

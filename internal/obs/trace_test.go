@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpanDisabledIsInert(t *testing.T) {
+	SetSpanSink(nil)
+	s := StartSpan("nothing")
+	s.SetAttr("k", 1)
+	s.End() // must not panic or deliver anywhere
+	if TracingEnabled() {
+		t.Fatal("tracing reported enabled with nil sink")
+	}
+}
+
+// TestSpanDisabledPathAllocs is the no-op sink allocation check: with
+// tracing disabled, StartSpan/End must allocate nothing, so leaving
+// instrumentation in hot paths is free.
+func TestSpanDisabledPathAllocs(t *testing.T) {
+	SetSpanSink(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		s := StartSpan("hot")
+		s.End()
+	}); n != 0 {
+		t.Fatalf("disabled span allocates %v per op", n)
+	}
+}
+
+func TestSpanDeliversToSink(t *testing.T) {
+	var c CollectorSink
+	SetSpanSink(&c)
+	defer SetSpanSink(nil)
+
+	s := StartSpan("work")
+	s.SetAttr("items", 3)
+	s.End()
+	s.End() // double End must not double-deliver
+
+	ev := c.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events, want 1", len(ev))
+	}
+	if ev[0].Name != "work" || ev[0].Duration < 0 {
+		t.Fatalf("event = %+v", ev[0])
+	}
+	if len(ev[0].Attrs) != 1 || ev[0].Attrs[0].Key != "items" {
+		t.Fatalf("attrs = %+v", ev[0].Attrs)
+	}
+}
+
+func TestSpanSinkConcurrent(t *testing.T) {
+	var c CollectorSink
+	SetSpanSink(&c)
+	defer SetSpanSink(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := StartSpan("p")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(c.Events()); got != 8*200 {
+		t.Fatalf("got %d events, want %d", got, 8*200)
+	}
+}

@@ -8,15 +8,67 @@ package par
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"qbeep/internal/obs"
 )
+
+// Fan-out metrics (see internal/obs): per-task wall time, batch wall
+// time, and the busy fraction of the worker pool over the last batch.
+var (
+	metTask        = obs.Default.Timer("par.task")
+	metBatch       = obs.Default.Timer("par.batch")
+	metTasks       = obs.Default.Counter("par.tasks")
+	metErrors      = obs.Default.Counter("par.errors")
+	metWorkers     = obs.Default.Gauge("par.workers")
+	metUtilization = obs.Default.Gauge("par.utilization")
+)
+
+// Stats describes one ForEachStats batch.
+type Stats struct {
+	// Durations holds the wall time of each task, index-addressed.
+	Durations []time.Duration
+	// FirstErr is the index of the task whose error ForEachStats
+	// returned (the first error observed), or -1 if every task
+	// succeeded. Later tasks still ran to completion.
+	FirstErr int
+	// Workers is the resolved worker count.
+	Workers int
+	// Elapsed is the batch wall time.
+	Elapsed time.Duration
+}
+
+// Utilization returns the busy fraction of the worker pool:
+// Σ task durations / (workers × batch wall time), in [0, 1] up to
+// scheduler noise. Low values flag batches dominated by one long task.
+func (s Stats) Utilization() float64 {
+	if s.Workers <= 0 || s.Elapsed <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, d := range s.Durations {
+		busy += d
+	}
+	return busy.Seconds() / (float64(s.Workers) * s.Elapsed.Seconds())
+}
 
 // ForEach runs fn(i) for every i in [0, n) across at most workers
 // goroutines (GOMAXPROCS when workers <= 0). It returns the first error
 // encountered; other tasks still run to completion. fn must only write to
 // per-index state — the helper provides no other synchronization.
 func ForEach(n, workers int, fn func(i int) error) error {
+	_, err := ForEachStats(n, workers, fn)
+	return err
+}
+
+// ForEachStats is ForEach plus per-task timing: every task's duration is
+// recorded (index-addressed in the returned Stats and observed into the
+// "par.task" timer), errors are logged with their task index, and the
+// batch's worker utilization is published as the "par.utilization" gauge.
+func ForEachStats(n, workers int, fn func(i int) error) (Stats, error) {
+	stats := Stats{FirstErr: -1}
 	if n <= 0 {
-		return nil
+		return stats, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -24,40 +76,62 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		var first error
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
+	stats.Workers = workers
+	stats.Durations = make([]time.Duration, n)
+	batchStart := time.Now()
+
 	var (
-		wg    sync.WaitGroup
 		mu    sync.Mutex
 		first error
 	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
-				}
+	runTask := func(i int) {
+		t0 := time.Now()
+		err := fn(i)
+		d := time.Since(t0)
+		stats.Durations[i] = d // per-index slot: no lock needed
+		metTask.ObserveDuration(d)
+		if err != nil {
+			metErrors.Inc()
+			obs.Logger().Warn("parallel task failed", "task", i, "err", err)
+			mu.Lock()
+			if first == nil {
+				first = err
+				stats.FirstErr = i
 			}
-		}()
+			mu.Unlock()
+		}
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			runTask(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runTask(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	close(next)
-	wg.Wait()
-	return first
+
+	stats.Elapsed = time.Since(batchStart)
+	metBatch.ObserveDuration(stats.Elapsed)
+	metTasks.Add(int64(n))
+	metWorkers.Set(float64(workers))
+	metUtilization.Set(stats.Utilization())
+	obs.Logger().Debug("parallel batch done",
+		"tasks", n, "workers", workers, "elapsed", stats.Elapsed,
+		"utilization", stats.Utilization(), "first_err_index", stats.FirstErr)
+	return stats, first
 }

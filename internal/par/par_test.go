@@ -2,8 +2,10 @@ package par
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachRunsAll(t *testing.T) {
@@ -53,6 +55,77 @@ func TestForEachPropagatesError(t *testing.T) {
 	}
 	if calls != 50 {
 		t.Fatalf("tasks should all run; got %d", calls)
+	}
+}
+
+// TestForEachStatsErrorMidBatch pins the documented behaviour: a
+// mid-batch error is reported (with its index) but every remaining task
+// still runs to completion.
+func TestForEachStatsErrorMidBatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls int64
+		const n = 60
+		stats, err := ForEachStats(n, workers, func(i int) error {
+			atomic.AddInt64(&calls, 1)
+			if i == 7 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "boom at 7") {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if got := atomic.LoadInt64(&calls); got != n {
+			t.Fatalf("workers=%d: only %d of %d tasks ran after mid-batch error", workers, got, n)
+		}
+		if stats.FirstErr != 7 {
+			t.Fatalf("workers=%d: FirstErr = %d, want 7", workers, stats.FirstErr)
+		}
+	}
+}
+
+// TestForEachStatsFirstErrMatchesError checks the index always names the
+// task whose error was returned, even when several tasks fail.
+func TestForEachStatsFirstErrMatchesError(t *testing.T) {
+	stats, err := ForEachStats(40, 4, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if want := fmt.Sprintf("fail %d", stats.FirstErr); err.Error() != want {
+		t.Fatalf("FirstErr %d does not match returned error %q", stats.FirstErr, err)
+	}
+}
+
+func TestForEachStatsDurations(t *testing.T) {
+	const n = 8
+	stats, err := ForEachStats(n, 4, func(i int) error {
+		time.Sleep(time.Duration(i%2+1) * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Durations) != n {
+		t.Fatalf("got %d durations, want %d", len(stats.Durations), n)
+	}
+	for i, d := range stats.Durations {
+		if d < time.Millisecond {
+			t.Fatalf("task %d duration %v implausibly small", i, d)
+		}
+	}
+	if stats.FirstErr != -1 {
+		t.Fatalf("FirstErr = %d on a clean batch", stats.FirstErr)
+	}
+	if stats.Workers != 4 || stats.Elapsed <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if u := stats.Utilization(); u <= 0 || u > 1.5 {
+		t.Fatalf("utilization = %v outside plausible range", u)
 	}
 }
 

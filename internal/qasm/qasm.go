@@ -12,7 +12,11 @@ import (
 	"strings"
 
 	"qbeep/internal/circuit"
+	"qbeep/internal/obs"
 )
+
+// metParse times Parse calls (seconds; see internal/obs).
+var metParse = obs.Default.Timer("qasm.parse")
 
 // Write renders the circuit as an OpenQASM 2.0 program with one quantum
 // and one classical register, both named q/c and sized to the circuit.
@@ -143,6 +147,7 @@ var expanders = map[string]func(params []float64, qubits []int) ([]circuit.Gate,
 // i to clbit i); gate parameters accept numeric literals and simple
 // pi-expressions (pi, -pi, pi/2, 3*pi/4, ...).
 func Parse(src string) (*circuit.Circuit, error) {
+	defer metParse.Start()()
 	name := "qasm"
 	n := 0
 	var c *circuit.Circuit

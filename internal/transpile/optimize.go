@@ -2,9 +2,11 @@ package transpile
 
 import (
 	"math"
+	"time"
 
 	"qbeep/internal/circuit"
 	"qbeep/internal/device"
+	"qbeep/internal/obs"
 )
 
 // twoPi folds an angle into (-π, π].
@@ -215,32 +217,42 @@ type Result struct {
 }
 
 // Transpile lowers, places, routes and optimizes c for backend b. A nil
-// layout selects GreedyLayout.
+// layout selects GreedyLayout. Each pass reports its wall time to the
+// obs registry (transpile.decompose/layout/route/optimize/schedule) and
+// the whole lowering runs under a "transpile" span.
 func Transpile(c *circuit.Circuit, b *device.Backend, layout Layout) (*Result, error) {
+	sp := obs.StartSpan("transpile")
+	stopAll := metTranspile.Start()
+	t0 := time.Now()
 	dec, err := Decompose(c)
 	if err != nil {
 		return nil, err
 	}
+	metDecompose.ObserveDuration(sincePass(&t0))
 	if layout == nil {
 		layout, err = GreedyLayout(dec, b)
 		if err != nil {
 			return nil, err
 		}
 	}
+	metLayout.ObserveDuration(sincePass(&t0))
 	cxBefore := dec.CountKind(circuit.CX)
 	routed, final, err := Route(dec, b, layout)
 	if err != nil {
 		return nil, err
 	}
+	metRoute.ObserveDuration(sincePass(&t0))
 	opt, err := Optimize(routed)
 	if err != nil {
 		return nil, err
 	}
+	metOptimize.ObserveDuration(sincePass(&t0))
 	t, err := ScheduleTime(opt, b)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	metSchedule.ObserveDuration(sincePass(&t0))
+	res := &Result{
 		Circuit:     opt,
 		Initial:     layout,
 		Final:       final,
@@ -248,8 +260,41 @@ func Transpile(c *circuit.Circuit, b *device.Backend, layout Layout) (*Result, e
 		SwapsAdded:  (routed.CountKind(circuit.CX) - cxBefore) / 3,
 		GatesBefore: c.GateCount(),
 		GatesAfter:  opt.GateCount(),
-	}, nil
+	}
+	stopAll()
+	metRuns.Inc()
+	metSwaps.Add(int64(res.SwapsAdded))
+	sp.SetAttr("circuit", c.Name)
+	sp.SetAttr("backend", b.Name)
+	sp.SetAttr("swaps", res.SwapsAdded)
+	sp.SetAttr("gates_after", res.GatesAfter)
+	sp.End()
+	obs.Logger().Debug("transpiled",
+		"circuit", c.Name, "backend", b.Name, "gates_before", res.GatesBefore,
+		"gates_after", res.GatesAfter, "swaps", res.SwapsAdded, "schedule_s", t)
+	return res, nil
 }
+
+// sincePass reads the elapsed time since *t0 and resets it, chaining
+// per-pass timings off one clock read per boundary.
+func sincePass(t0 *time.Time) time.Duration {
+	now := time.Now()
+	d := now.Sub(*t0)
+	*t0 = now
+	return d
+}
+
+// Pass timers and transpilation counters (see internal/obs).
+var (
+	metTranspile = obs.Default.Timer("transpile")
+	metDecompose = obs.Default.Timer("transpile.decompose")
+	metLayout    = obs.Default.Timer("transpile.layout")
+	metRoute     = obs.Default.Timer("transpile.route")
+	metOptimize  = obs.Default.Timer("transpile.optimize")
+	metSchedule  = obs.Default.Timer("transpile.schedule")
+	metRuns      = obs.Default.Counter("transpile.runs")
+	metSwaps     = obs.Default.Counter("transpile.swaps_inserted")
+)
 
 // LogicalDist remaps a physical-register measurement distribution back to
 // the logical register using the final layout, so downstream metrics see

@@ -109,6 +109,32 @@ func TestEstimateLambdaQASM(t *testing.T) {
 	}
 }
 
+// TestEstimateLambdaQASMIonBackend is the regression test for the
+// backend-name inconsistency: Simulate/SimulateExact accepted "ion-5"
+// while EstimateLambdaQASM rejected it (it consulted the catalog
+// directly). All three must resolve names identically.
+func TestEstimateLambdaQASMIonBackend(t *testing.T) {
+	src, err := BernsteinVaziraniQASM("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := EstimateLambdaQASM(src, "ion-5")
+	if err != nil {
+		t.Fatalf("EstimateLambdaQASM rejects ion-5 while Simulate accepts it: %v", err)
+	}
+	if lb.Total() <= 0 || lb.Time <= 0 {
+		t.Errorf("ion-5 lambda %+v", lb)
+	}
+	// Same pipeline through Simulate must agree on the estimate.
+	sim, err := Simulate(src, "ion-5", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lb.Total(), sim.Lambda.Total(); got != want {
+		t.Errorf("lambda mismatch: EstimateLambdaQASM %v vs Simulate %v", got, want)
+	}
+}
+
 func TestBackendsCatalog(t *testing.T) {
 	bs, err := Backends()
 	if err != nil {
