@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke ci
+.PHONY: all build vet test race bench-smoke bench-core ci
+
+# Extra worker counts the determinism tests sweep on top of their
+# built-in {1, 4, GOMAXPROCS} matrix (see workerMatrix in
+# internal/core/equivalence_test.go). Comma-separated.
+QBEEP_TEST_WORKERS ?= 2,3,7,16
 
 all: build
 
@@ -22,13 +27,21 @@ test:
 
 # race covers the packages with real concurrency or lock-cheap atomics:
 # the obs registry/sinks, the parallel fan-out, and the mitigation core
-# they instrument.
+# they instrument — with the widened worker-count matrix so the
+# deterministic-merge scan is raced under uneven fan-outs too.
 race:
-	$(GO) test -race ./internal/obs ./internal/par ./internal/core
+	QBEEP_TEST_WORKERS=$(QBEEP_TEST_WORKERS) $(GO) test -race ./internal/obs ./internal/par ./internal/core
 
 # bench-smoke: one short pass over the mitigation hot path to catch
 # gross regressions (the observability layer must stay ~free when off).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMitigateThroughput' -benchtime 1x .
+
+# bench-core: the state-graph engine microbenchmarks (build vs the
+# brute-force reference, allocation-free Step) plus the par dispatch
+# bench. BENCH_core.json holds the recorded baseline.
+bench-core:
+	$(GO) test -run '^$$' -bench 'StateGraph' -benchmem ./internal/core
+	$(GO) test -run '^$$' -bench 'ForEachTinyTasks' -benchmem ./internal/par
 
 ci: vet test race bench-smoke

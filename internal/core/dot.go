@@ -51,12 +51,16 @@ func (g *StateGraph) WriteDOT(w io.Writer, maxEdges int) error {
 type Stats struct {
 	Vertices int
 	Edges    int
-	// PrunedEdges counts candidate pairs inside the model radius whose
+	// PrunedEdges counts candidate pairs inside the scan radius whose
 	// weight fell below the ε threshold — the mass the scalability rule
-	// dropped (ISSUE: graph size under ε = 0.05).
+	// dropped (ISSUE: graph size under ε = 0.05). The scan stops at the
+	// effective radius (largest shell passing ε), so dead tail shells
+	// beyond it are neither scanned nor counted here.
 	PrunedEdges int
-	Radius      int
-	Total       float64
+	// Radius is the effective radius: the largest Hamming distance an
+	// edge can span after thresholding.
+	Radius int
+	Total  float64
 }
 
 // Stats returns the graph's summary statistics.

@@ -1,0 +1,453 @@
+package core
+
+// Edge discovery for the state graph. BuildStateGraph's pair scan is the
+// innermost loop of the whole pipeline — it runs once per mitigation,
+// thousands of times per figure corpus — so it gets an engine of its own:
+//
+//   - a per-distance weight table, so the scan performs two array loads
+//     per candidate pair instead of an interface call into the model
+//     (a Poisson PMF) plus a binomial coefficient;
+//   - popcount bucketing: |wt(a)−wt(b)| ≤ Hamming(a,b), and the distance
+//     parity is pinned to (wt(a)+wt(b)) mod 2, so only buckets whose
+//     minimum achievable distance is within the model radius are scanned;
+//   - a Hamming-ball walk for small radii on narrow registers: enumerate
+//     the C(n, 1..r) strings around each vertex with incremental XOR and
+//     probe a direct-indexed value→vertex table, making discovery
+//     O(V·C(n,≤r)) — near-linear in V for the radii ε = 0.05 induces;
+//   - a parallel scan over vertex ranges (internal/par) with per-range
+//     buffers. Every vertex emits its neighbors b > a sorted ascending,
+//     ranges are concatenated in range order, so the edge array comes out
+//     in canonical ascending (a, b) order — bit-for-bit identical to the
+//     serial O(V²) scan for any strategy and any worker count.
+//
+// The seed's serial scan survives below as bruteScanEdges: the randomized
+// equivalence tests use it as the oracle, and BenchmarkBuildStateGraphBrute
+// measures the engine against it.
+
+import (
+	"math"
+	"runtime"
+	"slices"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/par"
+)
+
+// scanStrategy selects the edge-discovery algorithm. scanAuto picks by
+// estimated probe counts; the equivalence tests force each path.
+type scanStrategy int
+
+const (
+	scanAuto scanStrategy = iota
+	// scanBucket scans vertex pairs from popcount buckets within radius.
+	scanBucket
+	// scanSphere walks the Hamming ball around each vertex and probes a
+	// direct-indexed value table. Requires n <= sphereLUTMaxWidth.
+	scanSphere
+	// scanNone is reported when the graph cannot have edges (radius 0 or
+	// fewer than two vertices).
+	scanNone
+)
+
+func (s scanStrategy) String() string {
+	switch s {
+	case scanBucket:
+		return "bucket"
+	case scanSphere:
+		return "sphere"
+	case scanNone:
+		return "none"
+	default:
+		return "auto"
+	}
+}
+
+// sphereLUTMaxWidth caps the direct-indexed value→vertex table of the
+// ball-walk strategy at 2^20 entries (4 MiB).
+const sphereLUTMaxWidth = 20
+
+// scanSerialThreshold: scans expected to probe fewer candidates than this
+// stay on one goroutine — fan-out overhead would dominate the work.
+const scanSerialThreshold = 1 << 12
+
+// weightTable precomputes the per-distance edge data once per build.
+// perString[d] is the stored edge weight w(d)/C(n,d) for shells whose
+// model mass passes ε, and 0 for shells inside the radius that fail the
+// threshold (those candidates count as pruned). Index 0 is unused:
+// vertices are distinct outcomes, so pair distances are >= 1.
+type weightTable struct {
+	perString []float64
+}
+
+func newWeightTable(w EdgeWeighter, eps float64, n, radius int) weightTable {
+	t := weightTable{perString: make([]float64, radius+1)}
+	for d := 1; d <= radius && d <= n; d++ {
+		if shell := w.Weight(d); shell >= eps {
+			t.perString[d] = shell / float64(bitstring.SphereSize(n, d))
+		}
+	}
+	return t
+}
+
+// effectiveRadius returns the largest distance whose shell passes the ε
+// threshold — the true scan bound. The model's MaxRadius is a tail
+// cutoff, so its boundary shell always fails ε and scanning it can only
+// prune; dropping dead boundary shells shrinks the Hamming ball (and the
+// bucket window) substantially: one 16-qubit shell is C(16,4) = 1820 of
+// a 2517-string ball.
+func (t weightTable) effectiveRadius() int {
+	for d := len(t.perString) - 1; d >= 1; d-- {
+		if t.perString[d] != 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// edgeScanner is the shared read-only state of one edge-discovery run.
+type edgeScanner struct {
+	vals   []bitstring.BitString // node values in node-index (ascending) order
+	n      int
+	radius int
+	tab    weightTable
+
+	buckets [][]int32 // popcount -> node indices, ascending
+	hitEst  float64   // expected edges per vertex (uniform-corpus estimate)
+	// Sphere strategy only. seen is a presence bitmap probed before lut:
+	// at 2^n bits it stays L1-resident (8 KiB at n = 16) where the int32
+	// lut does not, and the overwhelming majority of ball probes miss —
+	// the bitmap answers those without touching the big table.
+	seen []uint64
+	lut  []int32 // value -> node index + 1
+	// masks[t] holds the ball deltas whose top set bit is t, packed
+	// delta<<8 | distance, precomputed once per scan. The per-vertex walk
+	// visits only the groups whose top bit is clear in the vertex value:
+	// those are exactly the deltas with v^delta > v, i.e. the neighbors
+	// with a higher node index (values ascend with index), so half the
+	// ball is skipped outright and the symmetric b > a filter costs
+	// nothing per probe. Across visited groups the probed values ascend
+	// (higher top bit ⇒ larger u), so only within-group hits need sorting.
+	masks [][]uint64
+}
+
+// ballMasks enumerates every nonzero string with popcount <= radius over
+// n bits, packed delta<<8 | popcount and grouped by top set bit. Runs
+// once per scan; the per-vertex hot loop just XORs these into the vertex
+// value.
+func ballMasks(n, radius int) [][]uint64 {
+	masks := make([][]uint64, n)
+	var rec func(delta uint64, top, start, depth int)
+	rec = func(delta uint64, top, start, depth int) {
+		for i := start; i < top; i++ {
+			u := delta | 1<<uint(i)
+			masks[top] = append(masks[top], u<<8|uint64(depth))
+			if depth < radius {
+				rec(u, top, i+1, depth+1)
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		masks[t] = append(masks[t], (1<<uint(t))<<8|1)
+		if radius > 1 {
+			rec(1<<uint(t), t, 0, 2)
+		}
+	}
+	return masks
+}
+
+// scanResult is one vertex range's share of the discovery output. Hits
+// stay packed (8 bytes each) until every range is done and the final edge
+// slice can be allocated at its exact size — appending edge structs
+// directly would triple the growth-copy traffic.
+type scanResult struct {
+	hits   []uint64 // packed b<<8 | d, one ascending run per vertex
+	starts []int32  // vertex (relative to range start) -> offset into hits
+	pruned int
+}
+
+// scanEdges discovers every thresholded edge. The returned slice is in
+// canonical ascending (a, b) order regardless of strategy or worker
+// count; pruned counts candidate pairs within the radius dropped by ε,
+// matching the serial scan's accounting exactly. deg holds vertex i's
+// degree at index i+1 — tallied while the edges materialize, so buildCSR
+// can skip its counting pass.
+func scanEdges(vals []bitstring.BitString, n, radius int, tab weightTable, workers int, strat scanStrategy) (edges []edge, deg []int32, pruned int, used scanStrategy) {
+	nV := len(vals)
+	if radius <= 0 || nV < 2 {
+		return nil, make([]int32, nV+1), 0, scanNone
+	}
+	sc := &edgeScanner{vals: vals, n: n, radius: radius, tab: tab}
+	sc.buckets = make([][]int32, n+1)
+	wcount := make([]int32, n+1)
+	for _, v := range vals {
+		wcount[v.Weight()]++
+	}
+	for w, c := range wcount {
+		if c > 0 {
+			sc.buckets[w] = make([]int32, 0, c)
+		}
+	}
+	for i, v := range vals {
+		w := v.Weight()
+		sc.buckets[w] = append(sc.buckets[w], int32(i))
+	}
+
+	// Candidate estimates drive both the strategy choice and the
+	// serial-vs-parallel decision.
+	var bucketCand int64
+	for wa := 0; wa <= n; wa++ {
+		la := int64(len(sc.buckets[wa]))
+		if la == 0 {
+			continue
+		}
+		for wb := wa; wb <= n && wb-wa <= radius; wb++ {
+			if wb == wa {
+				if radius >= 2 { // same-weight pairs differ in >= 2 bits
+					bucketCand += la * (la - 1) / 2
+				}
+				continue
+			}
+			bucketCand += la * int64(len(sc.buckets[wb]))
+		}
+	}
+	var ballSize int64
+	for d := 1; d <= radius && d <= n; d++ {
+		ballSize += int64(bitstring.SphereSize(n, d))
+	}
+	// Expected hits per vertex under a uniform corpus — presizes the hit
+	// buffers so discovery appends rarely reallocate. Clustered corpora
+	// exceed it and fall back to append growth.
+	sc.hitEst = 0.5 * float64(ballSize) * math.Ldexp(float64(nV), -n)
+	if strat == scanAuto {
+		strat = scanBucket
+		// The walk probes half the ball per vertex (top-bit grouping), and
+		// a probe — XOR plus one L1-resident bitmap load — costs about half
+		// a bucket candidate (random value fetch plus popcount).
+		if n <= sphereLUTMaxWidth && int64(nV)*ballSize/2 < 2*bucketCand {
+			strat = scanSphere
+		}
+	} else if strat == scanSphere && n > sphereLUTMaxWidth {
+		strat = scanBucket
+	}
+	cand := bucketCand
+	if strat == scanSphere {
+		cand = int64(nV) * ballSize / 2
+		sc.lut = make([]int32, 1<<uint(n))
+		sc.seen = make([]uint64, (1<<uint(n)+63)/64)
+		for i, v := range vals {
+			sc.lut[v] = int32(i) + 1
+			sc.seen[v>>6] |= 1 << (v & 63)
+		}
+		sc.masks = ballMasks(n, radius)
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cand < scanSerialThreshold {
+		workers = 1
+	}
+	chunks := 1
+	if workers > 1 {
+		// Over-decompose so the dynamic queue balances the triangular
+		// workload (vertex a scans only neighbors b > a).
+		chunks = workers * 8
+		if chunks > nV {
+			chunks = nV
+		}
+	}
+	results := make([]scanResult, chunks)
+	run := func(ci int) error {
+		lo := ci * nV / chunks
+		hi := (ci + 1) * nV / chunks
+		results[ci] = sc.scanRange(lo, hi, strat)
+		return nil
+	}
+	if chunks == 1 {
+		run(0)
+	} else {
+		par.ForEach(chunks, workers, run)
+	}
+
+	var total int
+	for i := range results {
+		total += len(results[i].hits)
+		pruned += results[i].pruned
+	}
+	tabPS := tab.perString
+	edges = make([]edge, 0, total)
+	deg = make([]int32, nV+1)
+	for ci := range results {
+		r := &results[ci]
+		lo := ci * nV / chunks
+		for k := 0; k+1 < len(r.starts); k++ {
+			a := lo + k
+			run := r.hits[r.starts[k]:r.starts[k+1]]
+			deg[a+1] += int32(len(run))
+			for _, p := range run {
+				b := int(p >> 8)
+				deg[b+1]++
+				edges = append(edges, edge{a: a, b: b, weight: tabPS[p&0xff]})
+			}
+		}
+	}
+	return edges, deg, pruned, strat
+}
+
+// scanRange emits the edges (a, b) with a in [lo, hi) and b > a, each
+// vertex's neighbors sorted ascending, so concatenating ranges in order
+// reproduces the canonical serial-scan edge order.
+func (sc *edgeScanner) scanRange(lo, hi int, strat scanStrategy) scanResult {
+	res := scanResult{starts: make([]int32, 1, hi-lo+1)}
+	hitCap := int(sc.hitEst*float64(hi-lo)*1.2) + 64
+	hits := make([]uint64, 0, hitCap) // packed b<<8 | d, one sorted run per vertex
+	// Hoist the scanner fields: the appends below keep the compiler from
+	// proving the fields loop-invariant, and these are the two hottest
+	// loops in the pipeline.
+	vals, tab, radius := sc.vals, sc.tab.perString, sc.radius
+	if strat == scanSphere {
+		seen, lut, masks := sc.seen, sc.lut, sc.masks
+		// len(seen) is always a power of two (2^max(0,n-6)), so masking
+		// the word index proves it in-bounds and drops the bounds check
+		// from the innermost load.
+		wmask := bitstring.BitString(len(seen) - 1)
+		for a := lo; a < hi; a++ {
+			va := vals[a]
+			for t, group := range masks {
+				if va&(1<<uint(t)) != 0 {
+					continue // v^delta < v: the lower-index side owns the pair
+				}
+				seg := len(hits)
+				// Unrolled by two: the bitmap loads of a pair are
+				// independent, so they overlap instead of serializing on
+				// L1 latency. Hits are rare; both taken branches stay in
+				// probe order, preserving the canonical emission order.
+				i := 0
+				for ; i+2 <= len(group); i += 2 {
+					m0, m1 := group[i], group[i+1]
+					u0 := va ^ bitstring.BitString(m0>>8)
+					u1 := va ^ bitstring.BitString(m1>>8)
+					h0 := seen[(u0>>6)&wmask] & (1 << (u0 & 63))
+					h1 := seen[(u1>>6)&wmask] & (1 << (u1 & 63))
+					if h0 != 0 {
+						// Observed, and u > va guarantees index lut[u]-1 > a.
+						if d := m0 & 0xff; tab[d] != 0 {
+							hits = append(hits, uint64(lut[u0]-1)<<8|d)
+						} else {
+							res.pruned++
+						}
+					}
+					if h1 != 0 {
+						if d := m1 & 0xff; tab[d] != 0 {
+							hits = append(hits, uint64(lut[u1]-1)<<8|d)
+						} else {
+							res.pruned++
+						}
+					}
+				}
+				if i < len(group) {
+					m := group[i]
+					u := va ^ bitstring.BitString(m>>8)
+					if seen[(u>>6)&wmask]&(1<<(u&63)) != 0 {
+						if d := m & 0xff; tab[d] != 0 {
+							hits = append(hits, uint64(lut[u]-1)<<8|d)
+						} else {
+							res.pruned++
+						}
+					}
+				}
+				sortPacked(hits[seg:])
+			}
+			res.starts = append(res.starts, int32(len(hits)))
+		}
+		res.hits = hits
+		return res
+	}
+	// Per-bucket cursors to the first node index > a. Vertices are
+	// processed in ascending index order, so each cursor only moves
+	// forward — amortized O(bucket) per range instead of a binary search
+	// per (vertex, bucket) visit.
+	cur := make([]int32, len(sc.buckets))
+	for a := lo; a < hi; a++ {
+		va := vals[a]
+		wa := va.Weight()
+		loW := wa - radius
+		if loW < 0 {
+			loW = 0
+		}
+		hiW := wa + radius
+		if hiW > sc.n {
+			hiW = sc.n
+		}
+		seg := len(hits)
+		for wb := loW; wb <= hiW; wb++ {
+			if wb == wa && radius < 2 {
+				continue // same-weight distances are even and >= 2
+			}
+			bk := sc.buckets[wb]
+			c := int(cur[wb])
+			for c < len(bk) && int(bk[c]) <= a {
+				c++
+			}
+			cur[wb] = int32(c)
+			for _, j := range bk[c:] {
+				d := bitstring.Hamming(va, vals[j])
+				if d > radius {
+					continue
+				}
+				if tab[d] == 0 {
+					res.pruned++
+					continue
+				}
+				hits = append(hits, uint64(j)<<8|uint64(d))
+			}
+		}
+		if len(hits)-seg > 24 {
+			slices.Sort(hits[seg:])
+		} else {
+			sortPacked(hits[seg:])
+		}
+		res.starts = append(res.starts, int32(len(hits)))
+	}
+	res.hits = hits
+	return res
+}
+
+// sortPacked is an insertion sort for the short per-vertex (sphere: per
+// top-bit-group) hit runs — a handful of elements each, where a generic
+// sort's dispatch overhead would exceed the work.
+func sortPacked(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// bruteScanEdges is the seed's serial O(V²) pairwise scan, kept verbatim
+// as the reference implementation. It deliberately re-derives every
+// per-pair quantity through the EdgeWeighter the way the original code
+// did, so it stays an independent oracle for the engine above.
+func bruteScanEdges(vals []bitstring.BitString, n, radius int, w EdgeWeighter, eps float64) ([]edge, int) {
+	var edges []edge
+	var pruned int
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			d := bitstring.Hamming(vals[i], vals[j])
+			if d > radius {
+				continue
+			}
+			wt := w.Weight(d)
+			if wt < eps {
+				pruned++
+				continue
+			}
+			edges = append(edges, edge{a: i, b: j, weight: wt / float64(bitstring.SphereSize(n, d))})
+		}
+	}
+	return edges, pruned
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"qbeep/internal/bitstring"
+	"qbeep/internal/par"
 )
 
 // EnsembleMember is one induction of the same logical circuit — typically
@@ -45,16 +46,26 @@ func MitigateEnsemble(members []EnsembleMember, opts Options) (*bitstring.Dist, 
 	}
 	meanTotal /= float64(len(members))
 
+	// Members are independent mitigations: fan them out and merge in
+	// member order, so the result is identical to a serial loop
+	// regardless of GOMAXPROCS.
+	mitigated := make([]*bitstring.Dist, len(members))
+	if err := par.ForEach(len(members), 0, func(i int) error {
+		out, err := Mitigate(members[i].Counts, members[i].Lambda, opts)
+		if err != nil {
+			return fmt.Errorf("core: ensemble member %d: %w", i, err)
+		}
+		mitigated[i] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	merged := bitstring.NewDist(width)
 	var weightSum float64
-	for _, m := range members {
-		mitigated, err := Mitigate(m.Counts, m.Lambda, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range members {
 		w := math.Exp(-m.Lambda)
 		weightSum += w
-		norm := mitigated.Normalized(1)
+		norm := mitigated[i].Normalized(1)
 		norm.Each(func(v bitstring.BitString, p float64) {
 			merged.Add(v, w*p)
 		})

@@ -48,6 +48,10 @@ type Options struct {
 	// round. Per-iteration wall clocks are only taken when set, so the
 	// nil default costs nothing.
 	OnIteration func(IterationStats)
+	// BuildWorkers caps the worker count of the state-graph edge scan
+	// (<= 0 selects GOMAXPROCS). The mitigated output is identical for
+	// every value — this is purely a throughput knob.
+	BuildWorkers int
 }
 
 // NewOptions returns the paper's default configuration.
@@ -105,7 +109,7 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 	}
 	sp := obs.StartSpan("core.mitigate")
 	stop := metMitigate.Start()
-	g, err := BuildStateGraph(counts, w, opts.Epsilon)
+	g, err := BuildStateGraphWorkers(counts, w, opts.Epsilon, opts.BuildWorkers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -133,7 +137,9 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 			})
 		}
 		if ideal != nil {
-			trace = append(trace, bitstring.Fidelity(ideal, g.Dist()))
+			// Fidelity straight off the node slice: snapshotting a Dist
+			// per iteration was the tracked loop's dominant allocation.
+			trace = append(trace, g.Fidelity(ideal))
 		}
 	}
 	out := g.Dist().Normalized(counts.Total())

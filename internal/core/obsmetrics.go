@@ -10,6 +10,10 @@ var (
 	metGraphEdges  = obs.Default.Gauge("core.graph.edges")
 	metGraphPruned = obs.Default.Gauge("core.graph.pruned_edges")
 	metGraphRadius = obs.Default.Gauge("core.graph.radius")
+	// Edge-scan strategy counters: how often each discovery path of
+	// edgescan.go was selected.
+	metGraphScanBucket = obs.Default.Counter("core.graph.scan_bucket")
+	metGraphScanSphere = obs.Default.Counter("core.graph.scan_sphere")
 
 	metMitigateRuns  = obs.Default.Counter("core.mitigate.runs")
 	metMitigateIters = obs.Default.Counter("core.mitigate.iterations")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -89,6 +90,7 @@ type node struct {
 }
 
 // edge connects two vertices with the model weight of their distance.
+// Edges are stored in canonical ascending (a, b) order with a < b.
 type edge struct {
 	a, b   int // node indices
 	weight float64
@@ -97,82 +99,163 @@ type edge struct {
 // StateGraph is the Bayesian network over observed bit-strings (paper
 // §3.4, Fig. 5): vertices are the observed outcomes, edges link pairs whose
 // model weight passes the ε threshold.
+//
+// The adjacency is laid out in CSR form (adjStart/adjEdges) and the Step
+// working set lives in a reusable scratch struct, so the 20-iteration
+// mitigation loop is allocation-free after the first call.
 type StateGraph struct {
-	n          int // register width
+	n          int
 	nodes      []node
 	edges      []edge
-	adj        [][]int // node index -> incident edge indices
+	adjStart   []int32 // CSR row offsets: vertex i's incident edges are adjEdges[adjStart[i]:adjStart[i+1]]
+	adjEdges   []int32 // flat incident-edge indices, ascending within each vertex
 	total      float64
 	radius     int
 	selfWeight float64 // model weight at distance 0 (the "stay" term)
-	pruned     int     // candidate pairs within radius dropped by the ε threshold
+	pruned     int     // candidate pairs within the scan radius dropped by the ε threshold
+	scratch    stepScratch
+}
+
+func validateBuild(counts *bitstring.Dist, w EdgeWeighter, eps float64) error {
+	if counts == nil || counts.Support() == 0 {
+		return fmt.Errorf("core: empty counts")
+	}
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("core: epsilon %v outside (0,1)", eps)
+	}
+	if w == nil {
+		return fmt.Errorf("core: nil edge weighter")
+	}
+	return nil
+}
+
+// initStateGraph allocates the vertex set (one node per observed outcome,
+// ascending) and resolves the model radius. It returns the node values as
+// a flat slice for the edge scan's cache-friendly inner loop.
+func initStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*StateGraph, []bitstring.BitString) {
+	g := &StateGraph{n: counts.Width(), total: counts.Total(), selfWeight: w.Weight(0)}
+	outcomes := counts.Outcomes()
+	g.nodes = make([]node, len(outcomes))
+	vals := make([]bitstring.BitString, len(outcomes))
+	for i, o := range outcomes {
+		g.nodes[i] = node{value: o, count: counts.Count(o)}
+		vals[i] = o
+	}
+	g.radius = w.MaxRadius(eps, g.n)
+	return g, vals
+}
+
+// buildCSR lays the vertex→incident-edge adjacency out as a flat CSR
+// pair: two counting passes, no per-vertex slices, no reallocation.
+func (g *StateGraph) buildCSR() {
+	nV := len(g.nodes)
+	counts := make([]int32, nV+1)
+	for _, e := range g.edges {
+		counts[e.a+1]++
+		counts[e.b+1]++
+	}
+	g.buildCSRCounted(counts)
+}
+
+// buildCSRCounted finishes the CSR layout from precomputed degrees
+// (vertex i's degree at index i+1 — the layout scanEdges tallies while
+// materializing edges, saving a counting pass over the edge list). Takes
+// ownership of counts as the offset array.
+func (g *StateGraph) buildCSRCounted(counts []int32) {
+	nV := len(g.nodes)
+	g.adjStart = counts
+	for i := 0; i < nV; i++ {
+		g.adjStart[i+1] += g.adjStart[i]
+	}
+	g.adjEdges = make([]int32, 2*len(g.edges))
+	next := make([]int32, nV)
+	copy(next, g.adjStart[:nV])
+	for ei, e := range g.edges {
+		g.adjEdges[next[e.a]] = int32(ei)
+		next[e.a]++
+		g.adjEdges[next[e.b]] = int32(ei)
+		next[e.b]++
+	}
 }
 
 // BuildStateGraph constructs the graph from raw counts under the given
 // edge model and threshold. Vertices are created only for observed
 // (non-zero) outcomes, so the graph scales with shots, not with 2^n.
+//
+// Edge creation is thresholded on the model's shell mass w(d) >= ε (the
+// paper's scalability rule), but the stored weight is the per-string
+// likelihood w(d)/C(n,d): the model assigns mass w(d) to the whole
+// distance-d shell, and an individual string is one of C(n,d)
+// equally-likely landing sites. Without this normalization the
+// combinatorially-large middle shells would out-pull the true solution.
+//
+// Discovery is popcount-bucketed (or a Hamming-ball walk on narrow
+// registers) instead of the O(V²) pairwise scan — see edgescan.go — and
+// the output is bit-for-bit identical to that serial scan.
 func BuildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*StateGraph, error) {
-	if counts == nil || counts.Support() == 0 {
-		return nil, fmt.Errorf("core: empty counts")
-	}
-	if eps <= 0 || eps >= 1 {
-		return nil, fmt.Errorf("core: epsilon %v outside (0,1)", eps)
-	}
-	if w == nil {
-		return nil, fmt.Errorf("core: nil edge weighter")
+	return BuildStateGraphWorkers(counts, w, eps, 0)
+}
+
+// BuildStateGraphWorkers is BuildStateGraph with an explicit cap on the
+// edge-scan worker count (<= 0 selects GOMAXPROCS). The result is
+// independent of the worker count: vertex ranges emit their edges in
+// canonical ascending (a, b) order and are concatenated in range order,
+// so the edge array — and every downstream Step — never depends on
+// scheduling.
+func BuildStateGraphWorkers(counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int) (*StateGraph, error) {
+	return buildStateGraph(counts, w, eps, workers, scanAuto)
+}
+
+func buildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int, strat scanStrategy) (*StateGraph, error) {
+	if err := validateBuild(counts, w, eps); err != nil {
+		return nil, err
 	}
 	sp := obs.StartSpan("core.graph.build")
 	t0 := time.Now()
-	g := &StateGraph{n: counts.Width(), total: counts.Total(), selfWeight: w.Weight(0)}
-	outcomes := counts.Outcomes()
-	g.nodes = make([]node, len(outcomes))
-	for i, o := range outcomes {
-		g.nodes[i] = node{value: o, count: counts.Count(o)}
-	}
-	g.adj = make([][]int, len(g.nodes))
-	g.radius = w.MaxRadius(eps, g.n)
-
-	// Pairwise scan: O(V²) Hamming checks. V is bounded by the shot count,
-	// giving the O(N·r) per-update complexity the paper quotes once edges
-	// are materialized.
-	//
-	// Edge creation is thresholded on the model's shell mass w(d) >= ε
-	// (the paper's scalability rule), but the stored weight is the
-	// per-string likelihood w(d)/C(n,d): the model assigns mass w(d) to
-	// the whole distance-d shell, and an individual string is one of
-	// C(n,d) equally-likely landing sites. Without this normalization the
-	// combinatorially-large middle shells would out-pull the true
-	// solution.
-	for i := 0; i < len(g.nodes); i++ {
-		for j := i + 1; j < len(g.nodes); j++ {
-			d := bitstring.Hamming(g.nodes[i].value, g.nodes[j].value)
-			if d > g.radius {
-				continue
-			}
-			wt := w.Weight(d)
-			if wt < eps {
-				g.pruned++
-				continue
-			}
-			perString := wt / float64(bitstring.SphereSize(g.n, d))
-			g.edges = append(g.edges, edge{a: i, b: j, weight: perString})
-			g.adj[i] = append(g.adj[i], len(g.edges)-1)
-			g.adj[j] = append(g.adj[j], len(g.edges)-1)
-		}
-	}
+	g, vals := initStateGraph(counts, w, eps)
+	tab := newWeightTable(w, eps, g.n, g.radius)
+	// Scan only to the effective radius: the model's tail cutoff always
+	// ends in at least one shell that fails ε, and such dead boundary
+	// shells are the largest by far. Edges are unaffected (those shells
+	// cannot produce any); only the pruned tally narrows its scope.
+	g.radius = tab.effectiveRadius()
+	var used scanStrategy
+	var deg []int32
+	g.edges, deg, g.pruned, used = scanEdges(vals, g.n, g.radius, tab, workers, strat)
+	g.buildCSRCounted(deg)
 	elapsed := time.Since(t0)
 	metGraphBuild.ObserveDuration(elapsed)
 	metGraphVerts.Set(float64(len(g.nodes)))
 	metGraphEdges.Set(float64(len(g.edges)))
 	metGraphPruned.Set(float64(g.pruned))
 	metGraphRadius.Set(float64(g.radius))
+	switch used {
+	case scanSphere:
+		metGraphScanSphere.Inc()
+	case scanBucket:
+		metGraphScanBucket.Inc()
+	}
 	sp.SetAttr("vertices", len(g.nodes))
 	sp.SetAttr("edges", len(g.edges))
 	sp.SetAttr("pruned", g.pruned)
+	sp.SetAttr("strategy", used.String())
 	sp.End()
 	obs.Logger().Debug("state graph built",
 		"vertices", len(g.nodes), "edges", len(g.edges), "pruned", g.pruned,
-		"radius", g.radius, "width", g.n, "elapsed", elapsed)
+		"radius", g.radius, "width", g.n, "strategy", used.String(), "elapsed", elapsed)
+	return g, nil
+}
+
+// buildStateGraphBrute runs the seed's serial O(V²) reference scan (see
+// bruteScanEdges). Kept as the oracle for the equivalence tests and the
+// baseline for BenchmarkBuildStateGraphBrute.
+func buildStateGraphBrute(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*StateGraph, error) {
+	if err := validateBuild(counts, w, eps); err != nil {
+		return nil, err
+	}
+	g, vals := initStateGraph(counts, w, eps)
+	g.edges, g.pruned = bruteScanEdges(vals, g.n, g.radius, w, eps)
+	g.buildCSR()
 	return g, nil
 }
 
@@ -182,8 +265,21 @@ func (g *StateGraph) NumVertices() int { return len(g.nodes) }
 // NumEdges returns the edge count.
 func (g *StateGraph) NumEdges() int { return len(g.edges) }
 
-// Radius returns the maximum Hamming distance spanned by edges.
+// Radius returns the maximum Hamming distance spanned by edges: the
+// largest shell whose model weight passes the ε threshold.
 func (g *StateGraph) Radius() int { return g.radius }
+
+// Degree returns the number of edges incident to vertex i.
+func (g *StateGraph) Degree(i int) int {
+	return int(g.adjStart[i+1] - g.adjStart[i])
+}
+
+// IncidentEdges returns the indices of the edges incident to vertex i,
+// ascending. The slice aliases the graph's CSR storage — callers must
+// not modify it.
+func (g *StateGraph) IncidentEdges(i int) []int32 {
+	return g.adjEdges[g.adjStart[i]:g.adjStart[i+1]]
+}
 
 // Dist snapshots the current vertex counts as a distribution.
 func (g *StateGraph) Dist() *bitstring.Dist {
@@ -194,6 +290,59 @@ func (g *StateGraph) Dist() *bitstring.Dist {
 		}
 	}
 	return d
+}
+
+// Fidelity computes the classical (Bhattacharyya) fidelity between ideal
+// and the graph's current counts without materializing an intermediate
+// Dist — the tracked-mitigation loop calls it once per iteration, and
+// the snapshot Dist used to be that loop's dominant allocation. Nodes
+// are stored ascending and the operand order matches bitstring.Fidelity,
+// so the result equals bitstring.Fidelity(ideal, g.Dist()).
+func (g *StateGraph) Fidelity(ideal *bitstring.Dist) float64 {
+	if ideal == nil || ideal.Total() == 0 || g.total <= 0 {
+		return 0
+	}
+	var s float64
+	for i := range g.nodes {
+		c := g.nodes[i].count
+		if c <= 0 {
+			continue
+		}
+		if q := ideal.Count(g.nodes[i].value); q > 0 {
+			s += math.Sqrt(q / ideal.Total() * c / g.total)
+		}
+	}
+	return s * s
+}
+
+// stepScratch holds Step's working set, sized once per graph so the
+// iteration loop performs no allocations after the first call.
+type stepScratch struct {
+	prob, z, outflow, inflow, scale, delta []float64 // per vertex
+	flowAB, flowBA                         []float64 // per edge
+}
+
+func (s *stepScratch) ensure(nV, nE int) {
+	if cap(s.prob) < nV {
+		s.prob = make([]float64, nV)
+		s.z = make([]float64, nV)
+		s.outflow = make([]float64, nV)
+		s.inflow = make([]float64, nV)
+		s.scale = make([]float64, nV)
+		s.delta = make([]float64, nV)
+	}
+	s.prob = s.prob[:nV]
+	s.z = s.z[:nV]
+	s.outflow = s.outflow[:nV]
+	s.inflow = s.inflow[:nV]
+	s.scale = s.scale[:nV]
+	s.delta = s.delta[:nV]
+	if cap(s.flowAB) < nE {
+		s.flowAB = make([]float64, nE)
+		s.flowBA = make([]float64, nE)
+	}
+	s.flowAB = s.flowAB[:nE]
+	s.flowBA = s.flowBA[:nE]
 }
 
 // Step performs one reclassification iteration with learning rate eta
@@ -215,19 +364,23 @@ func (g *StateGraph) Dist() *bitstring.Dist {
 // dominant string hands essentially all of its counts over — the behavior
 // §5 of the paper describes.
 //
+// All working vectors live in the graph's scratch struct: after the first
+// call, Step allocates nothing (pinned by TestStepAllocationFree).
+//
 // The returned StepStats reports how much mass actually moved, so callers
 // can observe convergence without re-diffing distributions.
 func (g *StateGraph) Step(eta float64) StepStats {
 	if g.total <= 0 {
 		return StepStats{}
 	}
-	nV := len(g.nodes)
-	prob := make([]float64, nV)
-	for i, nd := range g.nodes {
-		prob[i] = nd.count / g.total
+	g.scratch.ensure(len(g.nodes), len(g.edges))
+	s := &g.scratch
+	prob := s.prob
+	for i := range g.nodes {
+		prob[i] = g.nodes[i].count / g.total
 	}
 	// Posterior normalizer per node: Z_A = w_0·P_A + Σ w_AC·P_C.
-	z := make([]float64, nV)
+	z := s.z
 	for i := range z {
 		z[i] = g.selfWeight * prob[i]
 	}
@@ -235,35 +388,41 @@ func (g *StateGraph) Step(eta float64) StepStats {
 		z[e.a] += e.weight * prob[e.b]
 		z[e.b] += e.weight * prob[e.a]
 	}
-	outflow := make([]float64, nV)
-	inflow := make([]float64, nV)
-	flowAB := make([]float64, len(g.edges))
-	flowBA := make([]float64, len(g.edges))
+	outflow, inflow := s.outflow, s.inflow
+	for i := range outflow {
+		outflow[i] = 0
+		inflow[i] = 0
+	}
+	flowAB, flowBA := s.flowAB, s.flowBA
 	for ei, e := range g.edges {
+		var fab, fba float64
 		if z[e.a] > 0 {
-			f := eta * g.nodes[e.a].count * e.weight * prob[e.b] / z[e.a]
-			flowAB[ei] = f
-			outflow[e.a] += f
-			inflow[e.b] += f
+			fab = eta * g.nodes[e.a].count * e.weight * prob[e.b] / z[e.a]
+			outflow[e.a] += fab
+			inflow[e.b] += fab
 		}
 		if z[e.b] > 0 {
-			f := eta * g.nodes[e.b].count * e.weight * prob[e.a] / z[e.b]
-			flowBA[ei] = f
-			outflow[e.b] += f
-			inflow[e.a] += f
+			fba = eta * g.nodes[e.b].count * e.weight * prob[e.a] / z[e.b]
+			outflow[e.b] += fba
+			inflow[e.a] += fba
 		}
+		flowAB[ei] = fab
+		flowBA[ei] = fba
 	}
 	// Reclassification overflow: cap outflow at count + inflow (paper
 	// Algorithm 1). With eta <= 1 the posterior normalization already
 	// keeps outflow <= count, so the cap only binds in ablations.
-	scale := make([]float64, nV)
+	scale := s.scale
 	for i := range scale {
 		scale[i] = 1
 		if limit := g.nodes[i].count + inflow[i]; outflow[i] > limit && outflow[i] > 0 {
 			scale[i] = limit / outflow[i]
 		}
 	}
-	delta := make([]float64, nV)
+	delta := s.delta
+	for i := range delta {
+		delta[i] = 0
+	}
 	var st StepStats
 	for ei, e := range g.edges {
 		fab := flowAB[ei] * scale[e.a]

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"qbeep/internal/bitstring"
+	"qbeep/internal/mathx"
+)
+
+// benchGraphConfigs spans the regimes the figure corpus hits: moderate
+// and large vertex counts, tight and loose Poisson radii.
+var benchGraphConfigs = []struct {
+	v      int
+	lambda float64
+}{
+	{512, 1},
+	{4096, 1},
+	{4096, 2},
+}
+
+// benchGraphDist draws v distinct outcomes uniformly over 16 qubits —
+// the widest weight spread, i.e. the least favorable case for the
+// popcount-bucket window.
+func benchGraphDist(v int) *bitstring.Dist {
+	const n = 16
+	rng := mathx.NewRNG(97)
+	d := bitstring.NewDist(n)
+	for d.Support() < v {
+		d.Add(bitstring.BitString(rng.Intn(1<<n)), float64(rng.Intn(20)+1))
+	}
+	return d
+}
+
+// BenchmarkBuildStateGraph measures the shipped edge-discovery engine
+// (bucketed / ball-walk, see edgescan.go). Compare with
+// BenchmarkBuildStateGraphBrute for the speedup over the seed's O(V²)
+// scan.
+func BenchmarkBuildStateGraph(b *testing.B) {
+	for _, c := range benchGraphConfigs {
+		b.Run(fmt.Sprintf("V%d/lambda%g", c.v, c.lambda), func(b *testing.B) {
+			raw := benchGraphDist(c.v)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var edges int
+			for i := 0; i < b.N; i++ {
+				g, err := BuildStateGraph(raw, PoissonEdges{Lambda: c.lambda}, 0.05)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = g.NumEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkBuildStateGraphBrute is the seed's serial O(V²) pairwise scan
+// (bruteScanEdges), the reference the acceptance criterion compares
+// against.
+func BenchmarkBuildStateGraphBrute(b *testing.B) {
+	for _, c := range benchGraphConfigs {
+		b.Run(fmt.Sprintf("V%d/lambda%g", c.v, c.lambda), func(b *testing.B) {
+			raw := benchGraphDist(c.v)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := buildStateGraphBrute(raw, PoissonEdges{Lambda: c.lambda}, 0.05); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStateGraphStep measures one reclassification iteration on a
+// warm graph; allocs/op must report 0 (scratch reuse, pinned by
+// TestStepAllocationFree).
+func BenchmarkStateGraphStep(b *testing.B) {
+	for _, c := range benchGraphConfigs {
+		b.Run(fmt.Sprintf("V%d/lambda%g", c.v, c.lambda), func(b *testing.B) {
+			raw := benchGraphDist(c.v)
+			g, err := BuildStateGraph(raw, PoissonEdges{Lambda: c.lambda}, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Step(1) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Step(0.5)
+			}
+		})
+	}
+}

@@ -107,8 +107,16 @@ func ForEachStats(n, workers int, fn func(i int) error) (Stats, error) {
 			runTask(i)
 		}
 	} else {
+		// Fully buffered dispatch, filled and closed before the workers
+		// start: fine-grained batches never serialize on a synchronous
+		// channel handoff, and workers drain the queue without ever
+		// blocking on the producer (BenchmarkForEachTinyTasks).
+		next := make(chan int, n)
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
 		var wg sync.WaitGroup
-		next := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
@@ -118,10 +126,6 @@ func ForEachStats(n, workers int, fn func(i int) error) (Stats, error) {
 				}
 			}()
 		}
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
 		wg.Wait()
 	}
 
