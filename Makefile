@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-core ci
+.PHONY: all build vet test race bench-smoke bench-core bench-sim ci
 
 # Extra worker counts the determinism tests sweep on top of their
 # built-in {1, 4, GOMAXPROCS} matrix (see workerMatrix in
@@ -26,11 +26,12 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with real concurrency or lock-cheap atomics:
-# the obs registry/sinks, the parallel fan-out, and the mitigation core
-# they instrument — with the widened worker-count matrix so the
-# deterministic-merge scan is raced under uneven fan-outs too.
+# the obs registry/sinks, the parallel fan-out, the mitigation core, and
+# the sharded simulation kernels (statevector, density matrix, trajectory
+# sampler) — with the widened worker-count matrix so deterministic merges
+# and amplitude shards are raced under uneven fan-outs too.
 race:
-	QBEEP_TEST_WORKERS=$(QBEEP_TEST_WORKERS) $(GO) test -race ./internal/obs ./internal/par ./internal/core
+	QBEEP_TEST_WORKERS=$(QBEEP_TEST_WORKERS) $(GO) test -race ./internal/obs ./internal/par ./internal/core ./internal/statevector ./internal/densitymatrix ./internal/noise
 
 # bench-smoke: one short pass over the mitigation hot path to catch
 # gross regressions (the observability layer must stay ~free when off).
@@ -43,5 +44,14 @@ bench-smoke:
 bench-core:
 	$(GO) test -run '^$$' -bench 'StateGraph' -benchmem ./internal/core
 	$(GO) test -run '^$$' -bench 'ForEachTinyTasks' -benchmem ./internal/par
+
+# bench-sim: the simulation kernel engine — fused vs unfused vs the
+# retained naiveApply oracle on the 14-qubit QAOA workload, the zero-copy
+# probability path, the density-matrix hot loops, and the parallel
+# trajectory sampler. BENCH_sim.json holds the recorded baseline.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkRun$$|BenchmarkRunUnfused$$|BenchmarkNaiveRun$$|BenchmarkProbabilitiesInto$$' -benchmem ./internal/statevector
+	$(GO) test -run '^$$' -bench 'BenchmarkDensityEvolve$$' -benchmem ./internal/densitymatrix
+	$(GO) test -run '^$$' -bench 'BenchmarkTrajectory$$' -benchmem ./internal/noise
 
 ci: vet test race bench-smoke

@@ -52,8 +52,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "backend %s: %d basis gates, %d swaps, schedule %.2e s, lambda %.4f\n",
-		*backend, sim.TranspiledGates, sim.Swaps, sim.Lambda.Time, sim.Lambda.Total())
+	obs.Logger().Info("simulated",
+		"backend", *backend,
+		"basis_gates", sim.TranspiledGates,
+		"swaps", sim.Swaps,
+		"schedule_s", sim.Lambda.Time,
+		"lambda", sim.Lambda.Total())
 
 	counts := sim.Raw
 	if *ideal {

@@ -20,6 +20,16 @@ func NewDist(n int) *Dist {
 	return &Dist{n: n, counts: make(map[BitString]float64)}
 }
 
+// NewDistCap is NewDist with the outcome map pre-sized for an expected
+// support, avoiding rehash growth when the caller knows the outcome count
+// up front (e.g. statevector.Dist counts its support first).
+func NewDistCap(n, capacity int) *Dist {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Dist{n: n, counts: make(map[BitString]float64, capacity)}
+}
+
 // FromCounts builds a distribution from a map of outcome to count.
 func FromCounts(n int, counts map[BitString]float64) *Dist {
 	keys := make([]BitString, 0, len(counts))

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"runtime"
 
 	"qbeep/internal/bitstring"
 	"qbeep/internal/circuit"
+	"qbeep/internal/par"
 )
 
 // MaxQubits bounds the register width (4^10 = ~1M complex entries).
@@ -31,10 +33,95 @@ func (m Matrix2) Dagger() Matrix2 {
 
 // Density is the n-qubit density matrix ρ with qubit 0 the
 // least-significant index bit of both row and column.
+//
+// Gate and channel application uses pair-stride kernels over the row and
+// column index spaces (no per-index mask tests) with a scratch matrix
+// reused across calls, and shards rows across internal/par workers for
+// wide registers; the contents of ρ are bitwise independent of the worker
+// count because shards partition whole row pairs.
 type Density struct {
-	n   int
-	dim int
-	rho []complex128 // row-major dim×dim
+	n       int
+	dim     int
+	rho     []complex128 // row-major dim×dim
+	scratch []complex128 // reusable output buffer for out-of-place kernels
+	signs   []float64    // reusable ±1 table for diagonal conjugations
+	workers int          // row shard count; 0 = auto
+}
+
+// SetWorkers sets the row shard count: w > 1 shards the kernels over w
+// par workers, w == 1 forces serial application, w <= 0 restores the
+// default (GOMAXPROCS once the matrix is large enough to pay for the
+// fan-out). ρ's contents are bitwise independent of w.
+func (d *Density) SetWorkers(w int) {
+	if w < 0 {
+		w = 0
+	}
+	d.workers = w
+}
+
+// parMinRows is the row-space size below which auto mode stays serial.
+const parMinRows = 1 << 6
+
+// resolveWorkers picks the shard count for a kernel over `rows` row slots.
+func (d *Density) resolveWorkers(rows int) int {
+	w := d.workers
+	if w <= 0 {
+		if rows < parMinRows {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shard runs fn(lo, hi) over a partition of [0, rows) across the resolved
+// worker count. fn must only write state owned by its row range.
+func (d *Density) shard(rows int, fn func(lo, hi int)) {
+	w := d.resolveWorkers(rows)
+	if w <= 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + w - 1) / w
+	_ = par.ForEach(w, w, func(k int) error {
+		lo := k * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo < hi {
+			fn(lo, hi)
+		}
+		return nil
+	})
+}
+
+// swapScratch installs the scratch buffer as ρ, keeping the old storage
+// as the next call's scratch.
+func (d *Density) swapScratch() {
+	d.rho, d.scratch = d.scratch, d.rho
+}
+
+// ensureScratch returns the reusable output buffer, zeroed when asked.
+func (d *Density) ensureScratch(zero bool) []complex128 {
+	if d.scratch == nil {
+		return d.ensureScratchAlloc()
+	}
+	if zero {
+		clear(d.scratch)
+	}
+	return d.scratch
+}
+
+func (d *Density) ensureScratchAlloc() []complex128 {
+	d.scratch = make([]complex128, len(d.rho))
+	return d.scratch
 }
 
 // New returns ρ = |0...0⟩⟨0...0|.
@@ -101,42 +188,76 @@ func (d *Density) Dist() *bitstring.Dist {
 
 // apply1 applies ρ → Σ_k K_k ρ K_k† for single-qubit Kraus operators on
 // qubit q. A unitary is the single-element channel {U}.
+//
+// Rows and columns are walked with pair strides: row pairs (r0, r0|mask)
+// come from the compressed row-pair index space, and the column loop
+// iterates outer blocks of 2·mask with a contiguous inner run of mask
+// columns — no per-index mask tests anywhere. Row-pair shards write
+// disjoint rows of the output, so the fan-out is race-free and the result
+// is bitwise identical for any worker count.
 func (d *Density) apply1(q int, kraus []Matrix2) {
 	mask := 1 << uint(q)
-	next := make([]complex128, len(d.rho))
-	for _, k := range kraus {
-		kd := k.Dagger()
-		// For each (row, col) pair, the qubit-q bits of row and col select
-		// which K and K† entries mix. Process rows first (K ρ), then
-		// columns (· K†) in one fused pass over pair blocks.
-		for r0 := 0; r0 < d.dim; r0++ {
-			if r0&mask != 0 {
-				continue
-			}
+	dim := d.dim
+	rho := d.rho
+	next := d.ensureScratch(true)
+	// Precompute each operator's dagger once, outside the hot loops.
+	daggers := make([]Matrix2, len(kraus))
+	for i, k := range kraus {
+		daggers[i] = k.Dagger()
+	}
+	d.shard(dim>>1, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			r0 := (t&^(mask-1))<<1 | t&(mask-1)
 			r1 := r0 | mask
-			for c0 := 0; c0 < d.dim; c0++ {
-				if c0&mask != 0 {
-					continue
+			row0 := rho[r0*dim : r0*dim+dim]
+			row1 := rho[r1*dim : r1*dim+dim]
+			out0 := next[r0*dim : r0*dim+dim]
+			out1 := next[r1*dim : r1*dim+dim]
+			for ki := range kraus {
+				k, kd := kraus[ki], daggers[ki]
+				for cb := 0; cb < dim; cb += mask << 1 {
+					for c0 := cb; c0 < cb+mask; c0++ {
+						c1 := c0 | mask
+						// 2x2 block of ρ in (r, c) qubit-q space.
+						p00 := row0[c0]
+						p01 := row0[c1]
+						p10 := row1[c0]
+						p11 := row1[c1]
+						// K ρ K† on the block.
+						a00 := k[0][0]*p00 + k[0][1]*p10
+						a01 := k[0][0]*p01 + k[0][1]*p11
+						a10 := k[1][0]*p00 + k[1][1]*p10
+						a11 := k[1][0]*p01 + k[1][1]*p11
+						out0[c0] += a00*kd[0][0] + a01*kd[1][0]
+						out0[c1] += a00*kd[0][1] + a01*kd[1][1]
+						out1[c0] += a10*kd[0][0] + a11*kd[1][0]
+						out1[c1] += a10*kd[0][1] + a11*kd[1][1]
+					}
 				}
-				c1 := c0 | mask
-				// 2x2 block of ρ in (r, c) qubit-q space.
-				p00 := d.rho[r0*d.dim+c0]
-				p01 := d.rho[r0*d.dim+c1]
-				p10 := d.rho[r1*d.dim+c0]
-				p11 := d.rho[r1*d.dim+c1]
-				// K ρ K† on the block.
-				a00 := k[0][0]*p00 + k[0][1]*p10
-				a01 := k[0][0]*p01 + k[0][1]*p11
-				a10 := k[1][0]*p00 + k[1][1]*p10
-				a11 := k[1][0]*p01 + k[1][1]*p11
-				next[r0*d.dim+c0] += a00*kd[0][0] + a01*kd[1][0]
-				next[r0*d.dim+c1] += a00*kd[0][1] + a01*kd[1][1]
-				next[r1*d.dim+c0] += a10*kd[0][0] + a11*kd[1][0]
-				next[r1*d.dim+c1] += a10*kd[0][1] + a11*kd[1][1]
 			}
 		}
-	}
-	d.rho = next
+	})
+	d.swapScratch()
+}
+
+// applyPerm conjugates ρ by a basis permutation: row r of the output is
+// row perm(r) rearranged by the same permutation on columns. Every input
+// row writes exactly one output row, so row shards never collide, and the
+// scratch needs no zeroing (the permutation covers every entry).
+func (d *Density) applyPerm(perm func(int) int) {
+	dim := d.dim
+	rho := d.rho
+	next := d.ensureScratch(false)
+	d.shard(dim, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			src := rho[r*dim : r*dim+dim]
+			dst := next[perm(r)*dim : perm(r)*dim+dim]
+			for c, v := range src {
+				dst[perm(c)] = v
+			}
+		}
+	})
+	d.swapScratch()
 }
 
 // applyCX applies the CNOT unitary (a permutation: conjugating ρ by the
@@ -144,38 +265,46 @@ func (d *Density) apply1(q int, kraus []Matrix2) {
 func (d *Density) applyCX(ctrl, tgt int) {
 	cm := 1 << uint(ctrl)
 	tm := 1 << uint(tgt)
-	perm := func(i int) int {
+	d.applyPerm(func(i int) int {
 		if i&cm != 0 {
 			return i ^ tm
 		}
 		return i
-	}
-	next := make([]complex128, len(d.rho))
-	for r := 0; r < d.dim; r++ {
-		pr := perm(r)
-		for c := 0; c < d.dim; c++ {
-			next[pr*d.dim+perm(c)] = d.rho[r*d.dim+c]
+	})
+}
+
+// applyDiagSigns conjugates ρ by a diagonal ±1 matrix given per-index
+// signs: ρ[r][c] *= sign[r]·sign[c], in place and branch-free.
+func (d *Density) applyDiagSigns(signs []float64) {
+	dim := d.dim
+	rho := d.rho
+	d.shard(dim, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			sr := signs[r]
+			row := rho[r*dim : r*dim+dim]
+			for c := range row {
+				row[c] *= complex(sr*signs[c], 0)
+			}
 		}
-	}
-	d.rho = next
+	})
 }
 
 // applyCZ applies the CZ unitary (diagonal ±1 phases).
 func (d *Density) applyCZ(a, b int) {
 	am := 1 << uint(a)
 	bm := 1 << uint(b)
-	sign := func(i int) float64 {
-		if i&am != 0 && i&bm != 0 {
-			return -1
-		}
-		return 1
+	if d.signs == nil {
+		d.signs = make([]float64, d.dim)
 	}
-	for r := 0; r < d.dim; r++ {
-		sr := sign(r)
-		for c := 0; c < d.dim; c++ {
-			d.rho[r*d.dim+c] *= complex(sr*sign(c), 0)
+	both := am | bm
+	for i := range d.signs {
+		if i&both == both {
+			d.signs[i] = -1
+		} else {
+			d.signs[i] = 1
 		}
 	}
+	d.applyDiagSigns(d.signs)
 }
 
 const invSqrt2 = 0.7071067811865476
@@ -254,26 +383,19 @@ func (d *Density) Apply(g circuit.Gate) error {
 		c1 := 1 << uint(g.Qubits[0])
 		c2 := 1 << uint(g.Qubits[1])
 		tm := 1 << uint(g.Qubits[2])
-		perm := func(i int) int {
-			if i&c1 != 0 && i&c2 != 0 {
+		both := c1 | c2
+		d.applyPerm(func(i int) int {
+			if i&both == both {
 				return i ^ tm
 			}
 			return i
-		}
-		next := make([]complex128, len(d.rho))
-		for r := 0; r < d.dim; r++ {
-			pr := perm(r)
-			for c := 0; c < d.dim; c++ {
-				next[pr*d.dim+perm(c)] = d.rho[r*d.dim+c]
-			}
-		}
-		d.rho = next
+		})
 		return nil
 	case circuit.CSWAP:
 		cm := 1 << uint(g.Qubits[0])
 		am := 1 << uint(g.Qubits[1])
 		bm := 1 << uint(g.Qubits[2])
-		perm := func(i int) int {
+		d.applyPerm(func(i int) int {
 			if i&cm == 0 {
 				return i
 			}
@@ -283,15 +405,7 @@ func (d *Density) Apply(g circuit.Gate) error {
 				return i
 			}
 			return i ^ am ^ bm
-		}
-		next := make([]complex128, len(d.rho))
-		for r := 0; r < d.dim; r++ {
-			pr := perm(r)
-			for c := 0; c < d.dim; c++ {
-				next[pr*d.dim+perm(c)] = d.rho[r*d.dim+c]
-			}
-		}
-		d.rho = next
+		})
 		return nil
 	default:
 		m, ok := gateMatrix(g)

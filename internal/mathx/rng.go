@@ -99,3 +99,12 @@ func (r *RNG) Perm(n int) []int {
 func (r *RNG) Split(label uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
 }
+
+// NewStream returns the index-th generator of a family keyed by base: a
+// deterministic function of (base, index) only, so callers can hand out
+// per-task streams in any order (or from any worker) and still reproduce
+// the exact same sequences for a fixed base. Unlike Split, it does not
+// advance any parent generator.
+func NewStream(base, index uint64) *RNG {
+	return NewRNG(base ^ (index+1)*0x9e3779b97f4a7c15)
+}

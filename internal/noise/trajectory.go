@@ -2,12 +2,25 @@ package noise
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"qbeep/internal/bitstring"
 	"qbeep/internal/circuit"
 	"qbeep/internal/device"
 	"qbeep/internal/mathx"
+	"qbeep/internal/obs"
+	"qbeep/internal/par"
 	"qbeep/internal/statevector"
+)
+
+// Trajectory metrics (see internal/obs): per-batch wall time and shot
+// throughput of the Monte Carlo sampler.
+var (
+	metTraj        = obs.Default.Timer("sim.trajectory")
+	metTrajShots   = obs.Default.Counter("sim.trajectory.shots")
+	metTrajPerSec  = obs.Default.Gauge("sim.trajectory.shots_per_sec")
+	metTrajWorkers = obs.Default.Gauge("sim.trajectory.workers")
 )
 
 // TrajectorySampler runs Monte Carlo Pauli-jump trajectories on the state
@@ -17,10 +30,17 @@ import (
 // per the paper (§3.1), it reproduces *local* Hamming clustering only,
 // which our Figure-4 negative-control experiment demonstrates.
 //
-// Cost is one state-vector evolution per shot; keep widths ≤ ~12 and shot
-// counts moderate.
+// Shots fan out across par workers, each reusing one state-vector buffer
+// (State.Reset) and one probability scratch vector for its whole chunk.
+// Every shot draws from its own RNG stream derived from the caller's
+// generator (mathx.NewStream keyed by one Uint64 draw and the shot index),
+// so the counts are deterministic for a fixed seed regardless of the
+// worker count. Note this changes the realized random stream relative to
+// the seed repository, which threaded a single serial RNG through every
+// shot; distributions agree statistically but not shot-for-shot.
 type TrajectorySampler struct {
 	backend *device.Backend
+	workers int
 }
 
 // NewTrajectorySampler returns a sampler on the backend.
@@ -32,6 +52,15 @@ func NewTrajectorySampler(b *device.Backend) (*TrajectorySampler, error) {
 		return nil, err
 	}
 	return &TrajectorySampler{backend: b}, nil
+}
+
+// SetWorkers sets the shot fan-out width (0 = GOMAXPROCS). The sampled
+// counts are identical for any value.
+func (t *TrajectorySampler) SetWorkers(w int) {
+	if w < 0 {
+		w = 0
+	}
+	t.workers = w
 }
 
 // pauliKinds indexes the injectable Paulis.
@@ -51,6 +80,9 @@ func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString,
 	if c.N > 14 {
 		return nil, fmt.Errorf("noise: trajectory sampling limited to 14 qubits, got %d", c.N)
 	}
+	if uint64(init) >= uint64(1)<<uint(c.N) {
+		return nil, fmt.Errorf("noise: basis state %d outside %d-qubit register", init, c.N)
+	}
 	var err1q, err2q float64
 	for _, g := range t.backend.Calibration.Gates1Q {
 		err1q += g.Error
@@ -66,38 +98,121 @@ func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString,
 	}
 	readout := t.backend.Calibration.MeanReadoutError()
 
-	counts := bitstring.NewDist(c.N)
-	for s := 0; s < shots; s++ {
-		st, err := statevector.NewBasis(c.N, init)
-		if err != nil {
-			return nil, err
+	// One draw keys every shot's stream; the caller's generator advances
+	// by exactly one Uint64 per Sample call.
+	base := rng.Uint64()
+
+	workers := t.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shots {
+		workers = shots
+	}
+	chunk := (shots + workers - 1) / workers
+
+	sp := obs.StartSpan("sim.trajectory")
+	t0 := time.Now()
+	locals := make([]*bitstring.Dist, workers)
+	err := par.ForEach(workers, workers, func(w int) error {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > shots {
+			hi = shots
 		}
-		for _, g := range c.Gates {
-			if err := st.Apply(g); err != nil {
-				return nil, err
+		if lo >= hi {
+			locals[w] = bitstring.NewDist(c.N)
+			return nil
+		}
+		st, err := statevector.New(c.N)
+		if err != nil {
+			return err
+		}
+		// Kernel sharding stays off inside the fan-out: parallelism lives
+		// at the shot level here.
+		st.SetWorkers(1)
+		var probs []float64
+		counts := bitstring.NewDist(c.N)
+		for s := lo; s < hi; s++ {
+			srng := mathx.NewStream(base, uint64(s))
+			if err := st.Reset(init); err != nil {
+				return err
 			}
-			if !g.Kind.IsUnitary() {
-				continue
-			}
-			p := err1q
-			if len(g.Qubits) >= 2 {
-				p = err2q
-			}
-			if rng.Float64() < p {
-				q := g.Qubits[rng.Intn(len(g.Qubits))]
-				pk := pauliKinds[rng.Intn(3)]
-				if err := st.Apply(circuit.Gate{Kind: pk, Qubits: []int{q}}); err != nil {
-					return nil, err
+			for _, g := range c.Gates {
+				if err := st.Apply(g); err != nil {
+					return err
+				}
+				if !g.Kind.IsUnitary() {
+					continue
+				}
+				p := err1q
+				if len(g.Qubits) >= 2 {
+					p = err2q
+				}
+				if srng.Float64() < p {
+					q := g.Qubits[srng.Intn(len(g.Qubits))]
+					pk := pauliKinds[srng.Intn(3)]
+					if err := st.Apply(circuit.Gate{Kind: pk, Qubits: []int{q}}); err != nil {
+						return err
+					}
 				}
 			}
-		}
-		out := st.Sample(1, rng).Outcomes()[0]
-		for q := 0; q < c.N; q++ {
-			if rng.Float64() < readout {
-				out = out.FlipBit(q)
+			probs = st.ProbabilitiesInto(probs)
+			out := sampleProbs(probs, srng)
+			for q := 0; q < c.N; q++ {
+				if srng.Float64() < readout {
+					out = out.FlipBit(q)
+				}
 			}
+			counts.Add(out, 1)
 		}
-		counts.Add(out, 1)
+		locals[w] = counts
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// Shot counts are integral, so merging is exact in any order; chunk
+	// order keeps it canonical.
+	counts := bitstring.NewDist(c.N)
+	for _, l := range locals {
+		l.Each(func(v bitstring.BitString, c float64) {
+			counts.Add(v, c)
+		})
+	}
+	elapsed := time.Since(t0)
+	metTraj.ObserveDuration(elapsed)
+	metTrajShots.Add(int64(shots))
+	metTrajWorkers.Set(float64(workers))
+	if secs := elapsed.Seconds(); secs > 0 {
+		metTrajPerSec.Set(float64(shots) / secs)
+	}
+	sp.SetAttr("circuit", c.Name)
+	sp.SetAttr("width", c.N)
+	sp.SetAttr("gates", len(c.Gates))
+	sp.SetAttr("shots", shots)
+	sp.SetAttr("workers", workers)
+	sp.End()
+	obs.Logger().Debug("trajectory batch",
+		"circuit", c.Name, "width", c.N, "shots", shots,
+		"workers", workers, "elapsed", elapsed)
 	return counts, nil
+}
+
+// sampleProbs draws one outcome from an (unnormalized) probability vector
+// by a single forward scan — the per-shot path needs exactly one draw, so
+// building a cumulative vector would be wasted work.
+func sampleProbs(p []float64, rng *mathx.RNG) bitstring.BitString {
+	var total float64
+	for _, v := range p {
+		total += v
+	}
+	u := rng.Float64() * total
+	for i, v := range p {
+		u -= v
+		if u <= 0 {
+			return bitstring.BitString(i)
+		}
+	}
+	return bitstring.BitString(len(p) - 1)
 }

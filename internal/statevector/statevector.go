@@ -1,26 +1,46 @@
 // Package statevector implements a dense state-vector simulator for the
 // circuit IR. It is the ideal-execution substrate: noiseless probabilities,
 // expectation values, and shot sampling for registers up to ~20 qubits.
+//
+// Gate application goes through the pair-stride kernel engine (kernels.go):
+// branch-free block iteration, diagonal and permutation fast paths, fusion
+// of adjacent single-qubit gates, and sharding of the amplitude array
+// across internal/par workers for wide registers. The textbook full-scan
+// implementation is retained as naiveApply, the randomized-equivalence
+// oracle the kernels are tested against.
 package statevector
 
 import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"time"
 
 	"qbeep/internal/bitstring"
 	"qbeep/internal/circuit"
 	"qbeep/internal/mathx"
+	"qbeep/internal/obs"
 )
 
 // MaxQubits bounds the register width (2^24 amplitudes ≈ 256 MiB).
 const MaxQubits = 24
 
+// Simulation metrics (see internal/obs): run wall time, cumulative gate
+// and shot counts, and the width of the most recent run.
+var (
+	metRun   = obs.Default.Timer("sim.run")
+	metRuns  = obs.Default.Counter("sim.runs")
+	metGates = obs.Default.Counter("sim.gates")
+	metShots = obs.Default.Counter("sim.shots")
+	metWidth = obs.Default.Gauge("sim.width")
+)
+
 // State is an n-qubit pure state: 2^n complex amplitudes with qubit 0 the
 // least-significant index bit.
 type State struct {
-	n   int
-	amp []complex128
+	n       int
+	amp     []complex128
+	workers int // kernel shard count; 0 = auto (GOMAXPROCS above threshold)
 }
 
 // New returns the all-zeros computational basis state |0...0⟩.
@@ -53,9 +73,31 @@ func (s *State) N() int { return s.n }
 // Amplitude returns the amplitude of basis state b.
 func (s *State) Amplitude(b bitstring.BitString) complex128 { return s.amp[b] }
 
+// SetWorkers sets the kernel shard count: w > 1 shards every kernel over w
+// par workers, w == 1 forces serial application, and w <= 0 restores the
+// default (GOMAXPROCS workers once the register is wide enough to pay for
+// the fan-out). The state's contents are bitwise independent of w.
+func (s *State) SetWorkers(w int) {
+	if w < 0 {
+		w = 0
+	}
+	s.workers = w
+}
+
+// Reset returns the state to the computational basis state |b⟩ in place,
+// reusing the amplitude buffer (no allocation).
+func (s *State) Reset(b bitstring.BitString) error {
+	if uint64(b) >= uint64(len(s.amp)) {
+		return fmt.Errorf("statevector: basis state %d outside %d-qubit register", b, s.n)
+	}
+	clear(s.amp)
+	s.amp[b] = 1
+	return nil
+}
+
 // Clone returns a deep copy.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp)), workers: s.workers}
 	copy(c.amp, s.amp)
 	return c
 }
@@ -75,17 +117,27 @@ func (s *State) Prob(b bitstring.BitString) float64 {
 	return real(a)*real(a) + imag(a)*imag(a)
 }
 
-// Probabilities returns the full probability vector. The slice is freshly
-// allocated.
+// Probabilities returns the full probability vector as a fresh slice.
 func (s *State) Probabilities() []float64 {
-	p := make([]float64, len(s.amp))
-	for i, a := range s.amp {
-		p[i] = real(a)*real(a) + imag(a)*imag(a)
-	}
-	return p
+	return s.ProbabilitiesInto(nil)
 }
 
-// applyMatrix1 applies a 2x2 unitary to qubit q.
+// ProbabilitiesInto writes the probability vector into dst, reusing its
+// storage when it has sufficient capacity (allocating only otherwise), and
+// returns the written slice. Callers on hot loops keep one scratch slice
+// alive and pass it back in every call.
+func (s *State) ProbabilitiesInto(dst []float64) []float64 {
+	if cap(dst) < len(s.amp) {
+		dst = make([]float64, len(s.amp))
+	}
+	dst = dst[:len(s.amp)]
+	for i, a := range s.amp {
+		dst[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return dst
+}
+
+// applyMatrix1 applies a 2x2 unitary to qubit q (oracle path).
 func (s *State) applyMatrix1(q int, m [2][2]complex128) {
 	mask := 1 << uint(q)
 	for i := 0; i < len(s.amp); i++ {
@@ -99,7 +151,7 @@ func (s *State) applyMatrix1(q int, m [2][2]complex128) {
 	}
 }
 
-// phase1 multiplies the |1⟩ component of qubit q by ph.
+// phase1 multiplies the |1⟩ component of qubit q by ph (oracle path).
 func (s *State) phase1(q int, ph complex128) {
 	mask := 1 << uint(q)
 	for i := range s.amp {
@@ -109,7 +161,7 @@ func (s *State) phase1(q int, ph complex128) {
 	}
 }
 
-// flip applies X on qubit q (pure permutation, no arithmetic).
+// flip applies X on qubit q (oracle path: pure permutation).
 func (s *State) flip(q int) {
 	mask := 1 << uint(q)
 	for i := 0; i < len(s.amp); i++ {
@@ -131,9 +183,27 @@ func u3Matrix(theta, phi, lambda float64) [2][2]complex128 {
 	}
 }
 
-// Apply applies one unitary gate. Measurements and barriers are ignored
-// here; sampling handles measurement (see Sample).
+// Apply applies one unitary gate through the kernel engine. Measurements
+// and barriers are ignored here; sampling handles measurement (see
+// Sample). The result is bit-identical to naiveApply for every gate kind.
 func (s *State) Apply(g circuit.Gate) error {
+	if err := g.Validate(s.n); err != nil {
+		return err
+	}
+	o, err := gateOp(g)
+	if err != nil {
+		return err
+	}
+	s.applyOp(o)
+	return nil
+}
+
+// naiveApply is the seed repository's full-scan gate application: one pass
+// over all 2^n amplitudes with a per-index mask test for every gate. It is
+// kept as the randomized-equivalence oracle for the kernel engine (the
+// same role bruteScanEdges plays for the state-graph engine) and as the
+// benchmark baseline in BENCH_sim.json.
+func (s *State) naiveApply(g circuit.Gate) error {
 	if err := g.Validate(s.n); err != nil {
 		return err
 	}
@@ -239,14 +309,31 @@ func (s *State) Apply(g circuit.Gate) error {
 	return nil
 }
 
+// RunConfig tunes circuit execution.
+type RunConfig struct {
+	// Workers is the kernel shard count (see State.SetWorkers); 0 = auto.
+	Workers int
+	// NoFuse disables single-qubit gate fusion, applying each gate with
+	// its own kernel (bit-identical to the naiveApply oracle). The fused
+	// default matches the oracle within 1e-12 per amplitude.
+	NoFuse bool
+}
+
 // Run applies every gate of the circuit to a fresh |0...0⟩ state and
 // returns the final state.
 func Run(c *circuit.Circuit) (*State, error) {
-	return RunFrom(c, 0)
+	return RunConfigured(c, 0, RunConfig{})
 }
 
 // RunFrom applies the circuit to the basis state |init⟩.
 func RunFrom(c *circuit.Circuit, init bitstring.BitString) (*State, error) {
+	return RunConfigured(c, init, RunConfig{})
+}
+
+// RunConfigured applies the circuit to |init⟩ with explicit engine
+// configuration. The whole gate list is compiled (and, unless NoFuse is
+// set, fused) before any amplitude is touched.
+func RunConfigured(c *circuit.Circuit, init bitstring.BitString, cfg RunConfig) (*State, error) {
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
@@ -254,11 +341,26 @@ func RunFrom(c *circuit.Circuit, init bitstring.BitString) (*State, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, g := range c.Gates {
-		if err := s.Apply(g); err != nil {
-			return nil, err
-		}
+	s.SetWorkers(cfg.Workers)
+	ops, err := compileOps(c.N, c.Gates, !cfg.NoFuse)
+	if err != nil {
+		return nil, err
 	}
+	sp := obs.StartSpan("sim.run")
+	t0 := time.Now()
+	for _, o := range ops {
+		s.applyOp(o)
+	}
+	elapsed := time.Since(t0)
+	metRun.ObserveDuration(elapsed)
+	metRuns.Inc()
+	metGates.Add(int64(len(c.Gates)))
+	metWidth.Set(float64(c.N))
+	sp.SetAttr("circuit", c.Name)
+	sp.SetAttr("width", c.N)
+	sp.SetAttr("gates", len(c.Gates))
+	sp.SetAttr("ops", len(ops))
+	sp.End()
 	return s, nil
 }
 
@@ -273,9 +375,17 @@ func IdealDist(c *circuit.Circuit) (*bitstring.Dist, error) {
 }
 
 // Dist converts the state's probabilities into a bitstring.Dist with total
-// mass 1, dropping negligible (< 1e-12) entries.
+// mass 1, dropping negligible (< 1e-12) entries. The result map is
+// pre-sized to the exact support, so wide low-entropy states don't pay
+// for rehash growth.
 func (s *State) Dist() *bitstring.Dist {
-	d := bitstring.NewDist(s.n)
+	support := 0
+	for _, a := range s.amp {
+		if real(a)*real(a)+imag(a)*imag(a) > 1e-12 {
+			support++
+		}
+	}
+	d := bitstring.NewDistCap(s.n, support)
 	for i, a := range s.amp {
 		p := real(a)*real(a) + imag(a)*imag(a)
 		if p > 1e-12 {
@@ -286,31 +396,37 @@ func (s *State) Dist() *bitstring.Dist {
 }
 
 // Sample draws shots measurement outcomes from the state using the given
-// RNG, via the alias-free cumulative method on a fresh probability vector.
+// RNG, via the cumulative method. One scratch vector is allocated and the
+// cumulative sums are built in place over it (ProbabilitiesInto).
 func (s *State) Sample(shots int, rng *mathx.RNG) *bitstring.Dist {
-	p := s.Probabilities()
-	cum := make([]float64, len(p))
+	cum := s.ProbabilitiesInto(nil)
 	var acc float64
-	for i, v := range p {
+	for i, v := range cum {
 		acc += v
 		cum[i] = acc
 	}
+	metShots.Add(int64(shots))
 	d := bitstring.NewDist(s.n)
 	for i := 0; i < shots; i++ {
-		u := rng.Float64() * acc
-		// Binary search the cumulative vector.
-		lo, hi := 0, len(cum)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cum[mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		d.Add(bitstring.BitString(lo), 1)
+		d.Add(sampleCum(cum, acc, rng), 1)
 	}
 	return d
+}
+
+// sampleCum draws one outcome from a cumulative probability vector by
+// binary search.
+func sampleCum(cum []float64, total float64, rng *mathx.RNG) bitstring.BitString {
+	u := rng.Float64() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return bitstring.BitString(lo)
 }
 
 // ExpectationZ returns ⟨Z_q⟩ for qubit q.
