@@ -2,11 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-core bench-sim ci
+.PHONY: all build vet lint test race bench-smoke bench-core bench-sim fuzz-smoke ci
 
 # Extra worker counts the determinism tests sweep on top of their
-# built-in {1, 4, GOMAXPROCS} matrix (see workerMatrix in
-# internal/core/equivalence_test.go). Comma-separated.
+# built-in {1, 4, GOMAXPROCS} matrix. Comma-separated. The matrix
+# helper is replicated per kernel package as workerMatrix in
+# internal/core/equivalence_test.go, internal/statevector/kernels_test.go,
+# internal/densitymatrix/workers_test.go, and
+# internal/noise/trajectory_determinism_test.go.
 QBEEP_TEST_WORKERS ?= 2,3,7,16
 
 all: build
@@ -22,16 +25,24 @@ vet:
 		echo "gofmt needed on:"; echo "$$files"; exit 1; \
 	fi
 
+# lint = the qbeep-lint multichecker (internal/analysis, DESIGN.md §9):
+# nodeterm, nogo, spanend, floatcmp over every package. Exits non-zero
+# on any finding; suppress deliberate sites with //qbeep:allow-<check>.
+lint:
+	$(GO) run ./cmd/qbeep-lint ./...
+
 test:
 	$(GO) test ./...
 
 # race covers the packages with real concurrency or lock-cheap atomics:
-# the obs registry/sinks, the parallel fan-out, the mitigation core, and
-# the sharded simulation kernels (statevector, density matrix, trajectory
+# the obs registry/sinks, the parallel fan-out, the mitigation core, the
+# sharded simulation kernels (statevector, density matrix, trajectory
 # sampler) — with the widened worker-count matrix so deterministic merges
-# and amplitude shards are raced under uneven fan-outs too.
+# and amplitude shards are raced under uneven fan-outs too — plus the
+# experiment runners and the transpiler, whose figure pipelines fan out
+# through par.
 race:
-	QBEEP_TEST_WORKERS=$(QBEEP_TEST_WORKERS) $(GO) test -race ./internal/obs ./internal/par ./internal/core ./internal/statevector ./internal/densitymatrix ./internal/noise
+	QBEEP_TEST_WORKERS=$(QBEEP_TEST_WORKERS) $(GO) test -race ./internal/obs ./internal/par ./internal/core ./internal/statevector ./internal/densitymatrix ./internal/noise ./internal/experiments ./internal/transpile
 
 # bench-smoke: one short pass over the mitigation hot path to catch
 # gross regressions (the observability layer must stay ~free when off).
@@ -54,4 +65,12 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'BenchmarkDensityEvolve$$' -benchmem ./internal/densitymatrix
 	$(GO) test -run '^$$' -bench 'BenchmarkTrajectory$$' -benchmem ./internal/noise
 
-ci: vet test race bench-smoke
+# fuzz-smoke: a few seconds on each native fuzz target — enough to
+# re-check the seed corpus plus a short random walk on every commit.
+# Longer fuzzing sessions run the same targets with a bigger -fuzztime.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/qasm
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQASM$$' -fuzztime 5s ./internal/qasm
+	$(GO) test -run '^$$' -fuzz '^FuzzDistFromCounts$$' -fuzztime 5s ./internal/bitstring
+
+ci: vet lint test race bench-smoke

@@ -1,0 +1,86 @@
+// Command qbeep-lint is the repo's multichecker: it runs the custom
+// invariant analyzers from internal/analysis over the packages named on
+// the command line (default ./...) and exits non-zero if any analyzer
+// reports a finding.
+//
+//	qbeep-lint [-only nodeterm,spanend] [-list] [packages...]
+//
+// The suite (see DESIGN.md §9):
+//
+//	nodeterm  no math/rand, time.Now/Since, or order-sensitive map
+//	          iteration in the deterministic kernel packages
+//	nogo      no raw goroutines or sync.WaitGroup outside internal/par
+//	          and internal/obs
+//	spanend   obs spans must be ended on all return paths
+//	floatcmp  no ==/!= on floats outside the exact-comparison allowlist
+//
+// Findings are suppressed per line with //qbeep:allow-<check> directives
+// carrying a rationale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qbeep/internal/analysis"
+	"qbeep/internal/analysis/floatcmp"
+	"qbeep/internal/analysis/nodeterm"
+	"qbeep/internal/analysis/nogo"
+	"qbeep/internal/analysis/spanend"
+)
+
+var suite = []*analysis.Analyzer{
+	floatcmp.Analyzer,
+	nodeterm.Analyzer,
+	nogo.Analyzer,
+	spanend.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := suite
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "qbeep-lint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := analysis.Run(os.Stdout, *dir, analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qbeep-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "qbeep-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -187,7 +187,7 @@ func QPE(bits int, phi float64) (*Workload, error) {
 	w := &Workload{Circuit: c, DataQubits: data}
 	// Exactly-representable phases give a deterministic answer.
 	scaled := phi * math.Pow(2, float64(bits))
-	if scaled == math.Trunc(scaled) {
+	if scaled == math.Trunc(scaled) { //qbeep:allow-floatcmp exact integrality test against Trunc of the same value
 		w.Expected = bitstring.BitString(uint64(scaled))
 		w.Deterministic = true
 	}

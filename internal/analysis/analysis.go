@@ -1,0 +1,154 @@
+// Package analysis is the repo's static-analysis framework: a minimal,
+// dependency-free port of the golang.org/x/tools/go/analysis surface
+// (Analyzer, Pass, Diagnostic) plus the //qbeep:allow-* suppression
+// directive grammar shared by every checker.
+//
+// The build environment is hermetic — no module proxy — so the suite is
+// built on the standard library alone: packages are loaded with
+// `go list -export` and type-checked through the stdlib gc importer
+// (see load.go), and the driver in run.go replaces x/tools'
+// multichecker. Analyzer Run functions are source-compatible with the
+// x/tools shape, so individual checkers could migrate to the real
+// framework unchanged if the dependency ever lands.
+//
+// Directive grammar (DESIGN.md §9): a comment of the form
+//
+//	//qbeep:allow-<check> [rationale...]
+//
+// suppresses diagnostics carrying category <check> on the same line or
+// on the line directly below the comment (so both trailing and
+// standalone placements work). Every suppression is expected to carry a
+// rationale; the directive is an audited escape hatch, not an off
+// switch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-paragraph help text shown by qbeep-lint -list.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos token.Pos
+	// Category is the directive key that suppresses this diagnostic
+	// (the <check> in //qbeep:allow-<check>).
+	Category string
+	Message  string
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and collects its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      []Diagnostic
+	directives map[string]map[int]map[string]bool // file -> line -> allowed keys
+}
+
+// NewPass assembles a Pass for one package. Directive comments are
+// indexed up front so Report can consult them in O(1).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	p.directives = indexDirectives(fset, files)
+	return p
+}
+
+// DirectivePrefix is the comment prefix of the suppression grammar.
+const DirectivePrefix = "//qbeep:allow-"
+
+// indexDirectives scans every comment in files for //qbeep:allow-<key>
+// directives and records which keys are active on which lines. A
+// directive on line L covers both L (trailing placement) and L+1
+// (standalone comment above the flagged statement).
+func indexDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	idx := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, DirectivePrefix)
+				key := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					key = rest[:i]
+				}
+				if key == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx[pos.Filename] = byLine
+				}
+				for _, line := range [2]int{pos.Line, pos.Line + 1} {
+					keys := byLine[line]
+					if keys == nil {
+						keys = make(map[string]bool)
+						byLine[line] = keys
+					}
+					keys[key] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Suppressed reports whether a diagnostic of category key at pos is
+// silenced by an //qbeep:allow-<key> directive.
+func (p *Pass) Suppressed(pos token.Pos, key string) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.directives[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[position.Line][key]
+}
+
+// Report records a diagnostic of the given category unless a directive
+// suppresses it.
+func (p *Pass) Report(pos token.Pos, category, format string, args ...any) {
+	if p.Suppressed(pos, category) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the collected diagnostics in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// PkgPathBase returns the last element of a package import path —
+// the key the analyzers use to recognize the kernel packages and the
+// par/obs concurrency roots, so the checkers work identically on the
+// real tree ("qbeep/internal/obs") and on analysistest fixtures
+// ("obs").
+func PkgPathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,268 @@
+// Package analysistest is the golden-test harness for the analyzer
+// suite, modeled on golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under testdata/src/<pkg>/ next to the analyzer
+// test, and lines expecting a diagnostic carry a
+//
+//	// want `regexp`
+//
+// comment (multiple patterns on one line expect multiple diagnostics).
+// Every diagnostic must be matched by a want on its line and every want
+// must be matched by a diagnostic, so both flagged and
+// directive-suppressed cases are pinned.
+//
+// Fixture packages import each other by bare directory name (the
+// spanend fixtures import a stub "obs"), and standard-library imports
+// are type-checked against the real stdlib via `go list -export` —
+// fully offline, mirroring internal/analysis/load.go.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qbeep/internal/analysis"
+)
+
+// Run applies a to the fixture packages named by pkgs, in order
+// (dependencies first), and asserts diagnostics against the fixtures'
+// want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	type fixture struct {
+		path  string
+		files []*ast.File
+	}
+	fixtures := make([]*fixture, 0, len(pkgs))
+	inFixtures := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		inFixtures[p] = true
+	}
+
+	stdImports := make(map[string]bool)
+	for _, p := range pkgs {
+		dir := filepath.Join("testdata", "src", p)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading fixture package %s: %v", p, err)
+		}
+		fx := &fixture{path: p}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing fixture %s: %v", e.Name(), err)
+			}
+			fx.files = append(fx.files, f)
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err == nil && !inFixtures[path] {
+					stdImports[path] = true
+				}
+			}
+		}
+		if len(fx.files) == 0 {
+			t.Fatalf("fixture package %s has no Go files", p)
+		}
+		fixtures = append(fixtures, fx)
+	}
+
+	exports := map[string]string{}
+	if len(stdImports) > 0 {
+		paths := make([]string, 0, len(stdImports))
+		for p := range stdImports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		var err error
+		exports, err = analysis.ExportData(".", paths)
+		if err != nil {
+			t.Fatalf("resolving stdlib export data: %v", err)
+		}
+	}
+
+	local := make(map[string]*types.Package, len(fixtures))
+	imp := &chainImporter{
+		local: local,
+		std: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, &missingExport{path: path}
+			}
+			return os.Open(file)
+		}),
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+
+	for _, fx := range fixtures {
+		info := analysis.NewInfo()
+		tpkg, err := conf.Check(fx.path, fset, fx.files, info)
+		if err != nil {
+			t.Fatalf("typechecking fixture package %s: %v", fx.path, err)
+		}
+		local[fx.path] = tpkg
+
+		pass := analysis.NewPass(a, fset, fx.files, tpkg, info)
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on fixture package %s: %v", a.Name, fx.path, err)
+		}
+		checkExpectations(t, fset, fx.files, pass.Diagnostics())
+	}
+}
+
+// expectation is one want pattern awaiting a diagnostic.
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkExpectations matches diagnostics against want comments
+// line-by-line within one fixture package.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := wantPatterns(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{file: pos.Filename, line: pos.Line}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], &expectation{rx: rx, raw: p})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{file: pos.Filename, line: pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	keys := make([]key, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// wantPatterns parses `// want "rx" `rx`...` comments into the regexp
+// source strings.
+func wantPatterns(comment string) ([]string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimLeft(text, " \t")
+	if !strings.HasPrefix(text, "want ") && text != "want" {
+		return nil, false
+	}
+	text = strings.TrimPrefix(text, "want")
+	var out []string
+	for {
+		text = strings.TrimLeft(text, " \t")
+		if text == "" {
+			break
+		}
+		switch text[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(text); i++ {
+				if text[i] == '\\' {
+					i++
+					continue
+				}
+				if text[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, false
+			}
+			s, err := strconv.Unquote(text[:end+1])
+			if err != nil {
+				return nil, false
+			}
+			out = append(out, s)
+			text = text[end+1:]
+		case '`':
+			end := strings.IndexByte(text[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			out = append(out, text[1:1+end])
+			text = text[end+2:]
+		default:
+			return nil, false
+		}
+	}
+	return out, len(out) > 0
+}
+
+// chainImporter resolves fixture packages from the already-checked
+// local set and everything else through stdlib export data.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+type missingExport struct{ path string }
+
+func (m *missingExport) Error() string {
+	return "analysistest: no export data for " + strconv.Quote(m.path) +
+		" (fixture dependencies must be listed before their importers in Run)"
+}

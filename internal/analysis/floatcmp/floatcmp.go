@@ -1,0 +1,100 @@
+// Package floatcmp forbids == and != on floating-point and complex
+// values. Exact float equality is almost always a latent bug in a
+// numeric codebase — accumulated rounding differs across fusion
+// decisions and worker counts — so comparisons must go through the
+// epsilon helpers the kernel equivalence tests use (or math.Abs against
+// a tolerance).
+//
+// Built-in allowlist, mirroring the idioms that are genuinely exact:
+//
+//   - comparison against a constant zero (`x == 0`): zero is a sentinel
+//     ("no mass", "disabled") and is produced exactly, not computed
+//     toward.
+//   - self-comparison (`x != x`): the portable NaN test.
+//
+// Everything else needs an //qbeep:allow-floatcmp directive with a
+// rationale explaining why the compared values are exact.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"qbeep/internal/analysis"
+)
+
+// Analyzer is the floatcmp checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= on float64/complex128 values outside the exact-comparison allowlist (zero sentinel, NaN self-test)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOrComplex(pass.Info.TypeOf(cmp.X)) && !isFloatOrComplex(pass.Info.TypeOf(cmp.Y)) {
+				return true
+			}
+			if isZeroConst(pass, cmp.X) || isZeroConst(pass, cmp.Y) {
+				return true
+			}
+			if isSelfCompare(pass, cmp) {
+				return true
+			}
+			pass.Report(cmp.OpPos, "floatcmp",
+				"%s on floating-point values: use an epsilon comparison (math.Abs(a-b) <= eps) or //qbeep:allow-floatcmp with a rationale",
+				cmp.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatOrComplex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to
+// zero (covers 0, 0.0, -0.0, and named zero constants).
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 && constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}
+
+// isSelfCompare recognizes `x != x` / `x == x` where both sides resolve
+// to the same variable — the NaN idiom.
+func isSelfCompare(pass *analysis.Pass, cmp *ast.BinaryExpr) bool {
+	lx, ok := cmp.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ly, ok := cmp.Y.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	lo, ro := pass.Info.ObjectOf(lx), pass.Info.ObjectOf(ly)
+	return lo != nil && lo == ro
+}

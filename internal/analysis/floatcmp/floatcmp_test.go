@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"qbeep/internal/analysis/analysistest"
+	"qbeep/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, "a")
+}

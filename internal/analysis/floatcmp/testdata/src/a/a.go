@@ -1,0 +1,43 @@
+// Package a exercises the float-equality checker.
+package a
+
+type temperature float64
+
+func eq(a, b float64) bool {
+	return a == b // want `== on floating-point`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `!= on floating-point`
+}
+
+func eqComplex(a, b complex128) bool {
+	return a == b // want `== on floating-point`
+}
+
+func eqNamed(a, b temperature) bool {
+	return a == b // want `== on floating-point`
+}
+
+func allowed(a, b float64) bool {
+	return a == b //qbeep:allow-floatcmp fixture: operands are exact by construction
+}
+
+// zero is a sentinel, produced exactly rather than computed toward.
+func zeroSentinel(a float64) bool {
+	return a == 0
+}
+
+func zeroSentinelFloat(a float64) bool {
+	return 0.0 != a
+}
+
+// self-comparison is the portable NaN test.
+func isNaN(a float64) bool {
+	return a != a
+}
+
+// integer equality is exact; not our business.
+func ints(a, b int) bool {
+	return a == b
+}

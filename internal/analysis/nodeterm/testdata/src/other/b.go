@@ -1,0 +1,17 @@
+// Package other is outside the kernel set: nodeterm must stay silent
+// here even on wall-clock reads and map-order accumulation.
+package other
+
+import "time"
+
+func now() time.Time {
+	return time.Now()
+}
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+// Package statevector is a nodeterm fixture: its import-path base
+// matches a deterministic kernel package, so the analyzer fires here.
+package statevector
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand`
+	"sort"
+	"time"
+)
+
+func seed() int {
+	return rand.Int()
+}
+
+func now() time.Time {
+	return time.Now() // want `time\.Now in deterministic kernel package`
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic kernel package`
+}
+
+func sinceAllowed(t0 time.Time) time.Duration {
+	return time.Since(t0) //qbeep:allow-time fixture: metric timing site
+}
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `float accumulation`
+	}
+	return s
+}
+
+func sumAllowed(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //qbeep:allow-maprange fixture: order-insensitive by construction
+	}
+	return s
+}
+
+func sumSelfAssign(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s = s + v // want `float accumulation`
+	}
+	return s
+}
+
+func dump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `ordered output`
+	}
+}
+
+// sortedKeys is the sanctioned pattern: collect, sort, then iterate.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sliceSum accumulates over a slice — order is the slice order, fine.
+func sliceSum(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// innerSum accumulates into a loop-local: order cannot leak out.
+func innerSum(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		out = append(out, s)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,12 @@
+package nogo_test
+
+import (
+	"testing"
+
+	"qbeep/internal/analysis/analysistest"
+	"qbeep/internal/analysis/nogo"
+)
+
+func TestNogo(t *testing.T) {
+	analysistest.Run(t, nogo.Analyzer, "a", "par")
+}

@@ -1,0 +1,33 @@
+// Package a is a nogo fixture: a normal package where raw fan-out
+// primitives are forbidden.
+package a
+
+import "sync"
+
+func fanout(n int, fn func(int)) {
+	var wg sync.WaitGroup // want `sync\.WaitGroup outside`
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want `raw go statement`
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func allowedGo(done chan struct{}) {
+	go close(done) //qbeep:allow-go fixture: fire-and-forget notifier
+}
+
+func allowedWaitGroup() {
+	var wg sync.WaitGroup //qbeep:allow-waitgroup fixture: deliberate local barrier
+	wg.Wait()
+}
+
+// mutexes and other sync primitives stay legal everywhere.
+func locked(mu *sync.Mutex, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	fn()
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// A Finding is one printed diagnostic with its resolved position and
+// originating analyzer.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Diagnostic
+}
+
+// Run is the multichecker driver: it loads the packages matched by
+// patterns (relative to dir), applies every analyzer to every package,
+// and writes findings to w as "file:line:col: message (analyzer)"
+// lines, sorted by position. It returns the findings so callers (the
+// qbeep-lint binary, tests) can exit non-zero or assert on them.
+func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.Diagnostics() {
+				findings = append(findings, Finding{
+					Position:   pkg.Fset.Position(d.Pos),
+					Analyzer:   a.Name,
+					Diagnostic: d,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s (%s)\n", shortPosition(f.Position, dir), f.Message, f.Analyzer)
+	}
+	return findings, nil
+}
+
+// shortPosition renders a position with the filename relative to dir
+// when possible, keeping lint output stable across checkouts.
+func shortPosition(p token.Position, dir string) string {
+	name := p.Filename
+	if dir != "" {
+		if abs, err := filepath.Abs(dir); err == nil {
+			if rel, err := filepath.Rel(abs, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+				name = rel
+			}
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", name, p.Line, p.Column)
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"qbeep/internal/analysis/analysistest"
+	"qbeep/internal/analysis/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, spanend.Analyzer, "obs", "a")
+}

@@ -1,0 +1,85 @@
+// Package a exercises the span lifecycle checker.
+package a
+
+import (
+	"errors"
+
+	"obs"
+)
+
+var errFail = errors.New("fail")
+
+func leakNoEnd() {
+	sp := obs.StartSpan("leak") // want `never ended`
+	sp.SetAttr("k", 1)
+}
+
+func leakEarlyReturn(fail bool) error {
+	sp := obs.StartSpan("early")
+	if fail {
+		return errFail // want `return without ending span`
+	}
+	sp.End()
+	return nil
+}
+
+func discardedStmt() {
+	obs.StartSpan("discard") // want `discarded`
+}
+
+func discardedBlank() {
+	_ = obs.StartSpan("blank") // want `discarded`
+}
+
+func okDefer(fail bool) error {
+	sp := obs.StartSpan("defer")
+	defer sp.End()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+func okDeferClosure(fail bool) error {
+	sp := obs.StartSpan("closure")
+	defer func() {
+		sp.SetAttr("failed", fail)
+		sp.End()
+	}()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+func okStraightLine() {
+	sp := obs.StartSpan("line")
+	sp.SetAttr("k", 2)
+	sp.End()
+}
+
+func okEndBeforeEveryReturn(fail bool) error {
+	sp := obs.StartSpan("explicit")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+func allowedLeak() {
+	sp := obs.StartSpan("handed-off") //qbeep:allow-spanleak fixture: deliberately leaked
+	sp.SetAttr("k", 3)
+}
+
+// escaping spans are the callee's responsibility, not flagged here.
+func escapes() obs.Span {
+	sp := obs.StartSpan("escape")
+	return sp
+}
+
+func passedAlong(finish func(obs.Span)) {
+	sp := obs.StartSpan("passed")
+	finish(sp)
+}

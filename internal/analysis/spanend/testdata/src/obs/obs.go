@@ -1,0 +1,25 @@
+// Package obs is a stub of the real observability package: spanend
+// matches StartSpan by the import-path base "obs", so the fixtures can
+// exercise the analyzer without importing the module tree.
+package obs
+
+// Span mirrors the value-type span of the real package.
+type Span struct {
+	ended bool
+}
+
+// StartSpan begins a span.
+func StartSpan(name string) Span {
+	_ = name
+	return Span{}
+}
+
+// SetAttr attaches an attribute.
+func (s *Span) SetAttr(key string, value any) {
+	_, _ = key, value
+}
+
+// End completes the span.
+func (s *Span) End() {
+	s.ended = true
+}

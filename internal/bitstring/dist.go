@@ -59,6 +59,12 @@ func FromStringCounts(counts map[string]float64) (*Dist, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Vendor dictionaries are untrusted input: a NaN or Inf count
+		// would poison the running total and every probability derived
+		// from it (found by FuzzDistFromCounts).
+		if c := counts[s]; math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("bitstring: non-finite count %v for outcome %q", c, s)
+		}
 		if d == nil {
 			d = NewDist(n)
 		} else if n != d.n {

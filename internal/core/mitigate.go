@@ -108,6 +108,9 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 		w = PoissonEdges{Lambda: lambda}
 	}
 	sp := obs.StartSpan("core.mitigate")
+	// Ending via defer keeps the span from leaking on the graph-build
+	// error return (qbeep-lint spanend); attributes below still precede it.
+	defer sp.End()
 	stop := metMitigate.Start()
 	g, err := BuildStateGraphWorkers(counts, w, opts.Epsilon, opts.BuildWorkers)
 	if err != nil {
@@ -122,7 +125,7 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 		eta := opts.LearningRate(i)
 		var t0 time.Time
 		if opts.OnIteration != nil {
-			t0 = time.Now()
+			t0 = time.Now() //qbeep:allow-time per-iteration callback timing, not kernel state
 		}
 		last = g.Step(eta)
 		if opts.OnIteration != nil {
@@ -133,7 +136,7 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 				L1Delta:   last.L1Delta,
 				Vertices:  g.NumVertices(),
 				Edges:     g.NumEdges(),
-				Duration:  time.Since(t0),
+				Duration:  time.Since(t0), //qbeep:allow-time per-iteration callback timing, not kernel state
 			})
 		}
 		if ideal != nil {
@@ -150,7 +153,6 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 	metFinalL1.Observe(last.L1Delta)
 	sp.SetAttr("iterations", opts.Iterations)
 	sp.SetAttr("vertices", g.NumVertices())
-	sp.End()
 	obs.Logger().Debug("mitigation finished",
 		"iterations", opts.Iterations, "vertices", g.NumVertices(),
 		"edges", g.NumEdges(), "final_l1_delta", last.L1Delta)

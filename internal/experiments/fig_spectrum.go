@@ -175,7 +175,7 @@ func topStrings(m map[string]float64, k int) []string {
 		keys = append(keys, s)
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if m[keys[i]] != m[keys[j]] {
+		if m[keys[i]] != m[keys[j]] { //qbeep:allow-floatcmp exact tie-break: equal stored counts fall through to the key order
 			return m[keys[i]] > m[keys[j]]
 		}
 		return keys[i] < keys[j]

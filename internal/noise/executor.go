@@ -86,9 +86,9 @@ func (e *Executor) ExecuteTranspiled(logical *circuit.Circuit, res *transpile.Re
 		return nil, err
 	}
 	sp := obs.StartSpan("noise.execute")
-	t0 := time.Now()
+	t0 := time.Now() //qbeep:allow-time span/metric timing, not kernel state
 	counts := e.sampleNoisy(logical, ideal, res, rates, shots, rng)
-	elapsed := time.Since(t0)
+	elapsed := time.Since(t0) //qbeep:allow-time span/metric timing, not kernel state
 	metExecute.ObserveDuration(elapsed)
 	metShots.Add(int64(shots))
 	if secs := elapsed.Seconds(); secs > 0 {
@@ -236,7 +236,7 @@ func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 		}
 		if gateTotal > 0 {
 			pois := gatePois
-			if drift != 1 {
+			if drift != 1 { //qbeep:allow-floatcmp drift is exactly 1.0 when jitter is disabled (sentinel)
 				pois = mathx.Poisson{Lambda: gateTotal * drift}
 			}
 			k := pois.Sample(rng.Float64)
@@ -257,7 +257,7 @@ func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 		// random walk over the circuit's interaction graph (or uniformly).
 		if rates.Burst > 0 {
 			pois := burstPois
-			if drift != 1 {
+			if drift != 1 { //qbeep:allow-floatcmp drift is exactly 1.0 when jitter is disabled (sentinel)
 				pois = mathx.Poisson{Lambda: rates.Burst * drift}
 			}
 			k := pois.Sample(rng.Float64)

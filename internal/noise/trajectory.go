@@ -3,6 +3,7 @@ package noise
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"qbeep/internal/bitstring"
@@ -88,13 +89,25 @@ func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString,
 		err1q += g.Error
 	}
 	err1q /= float64(len(t.backend.Calibration.Gates1Q))
-	n2 := 0
-	for _, g := range t.backend.Calibration.Gates2Q {
-		err2q += g.Error
-		n2++
+	// Sum 2q errors in sorted edge order: Gates2Q is a map, and float
+	// accumulation in map order would make err2q — and through it every
+	// per-shot error rate — drift at the last bit between runs
+	// (qbeep-lint nodeterm).
+	edges := make([]device.Edge, 0, len(t.backend.Calibration.Gates2Q))
+	for e := range t.backend.Calibration.Gates2Q {
+		edges = append(edges, e)
 	}
-	if n2 > 0 {
-		err2q /= float64(n2)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	for _, e := range edges {
+		err2q += t.backend.Calibration.Gates2Q[e].Error
+	}
+	if len(edges) > 0 {
+		err2q /= float64(len(edges))
 	}
 	readout := t.backend.Calibration.MeanReadoutError()
 
@@ -112,7 +125,10 @@ func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString,
 	chunk := (shots + workers - 1) / workers
 
 	sp := obs.StartSpan("sim.trajectory")
-	t0 := time.Now()
+	// Ending via defer keeps the span from leaking on the fan-out error
+	// path (qbeep-lint spanend); attributes set below still precede it.
+	defer sp.End()
+	t0 := time.Now() //qbeep:allow-time span/metric timing, not kernel state
 	locals := make([]*bitstring.Dist, workers)
 	err := par.ForEach(workers, workers, func(w int) error {
 		lo := w * chunk
@@ -180,7 +196,7 @@ func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString,
 			counts.Add(v, c)
 		})
 	}
-	elapsed := time.Since(t0)
+	elapsed := time.Since(t0) //qbeep:allow-time span/metric timing, not kernel state
 	metTraj.ObserveDuration(elapsed)
 	metTrajShots.Add(int64(shots))
 	metTrajWorkers.Set(float64(workers))
@@ -192,7 +208,6 @@ func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString,
 	sp.SetAttr("gates", len(c.Gates))
 	sp.SetAttr("shots", shots)
 	sp.SetAttr("workers", workers)
-	sp.End()
 	obs.Logger().Debug("trajectory batch",
 		"circuit", c.Name, "width", c.N, "shots", shots,
 		"workers", workers, "elapsed", elapsed)

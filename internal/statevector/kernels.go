@@ -688,7 +688,7 @@ func (s *State) dense1Range(q int, class uint8, m [2][2]complex128, lo, hi int) 
 func (s *State) diag1Range(q int, d0, d1 complex128, lo, hi int) {
 	mask := 1 << uint(q)
 	amp := s.amp
-	skip0 := d0 == 1
+	skip0 := d0 == 1 //qbeep:allow-floatcmp exact sentinel: compiled diagonals store a literal 1 for the identity half
 	if mask < smallRun {
 		if skip0 {
 			for t := lo; t < hi; t++ {

@@ -222,6 +222,9 @@ type Result struct {
 // the whole lowering runs under a "transpile" span.
 func Transpile(c *circuit.Circuit, b *device.Backend, layout Layout) (*Result, error) {
 	sp := obs.StartSpan("transpile")
+	// Ending via defer keeps the span from leaking on the per-pass error
+	// returns (qbeep-lint spanend); attributes set below still precede it.
+	defer sp.End()
 	stopAll := metTranspile.Start()
 	t0 := time.Now()
 	dec, err := Decompose(c)
@@ -268,7 +271,6 @@ func Transpile(c *circuit.Circuit, b *device.Backend, layout Layout) (*Result, e
 	sp.SetAttr("backend", b.Name)
 	sp.SetAttr("swaps", res.SwapsAdded)
 	sp.SetAttr("gates_after", res.GatesAfter)
-	sp.End()
 	obs.Logger().Debug("transpiled",
 		"circuit", c.Name, "backend", b.Name, "gates_before", res.GatesBefore,
 		"gates_after", res.GatesAfter, "swaps", res.SwapsAdded, "schedule_s", t)

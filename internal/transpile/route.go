@@ -136,6 +136,7 @@ func GreedyLayout(c *circuit.Circuit, b *device.Backend) (Layout, error) {
 					continue
 				}
 				score := edgeErr(layout[partner], nb) / float64(w)
+				//qbeep:allow-floatcmp exact tie-break: equal scores fall through to the qubit-index order
 				if score < bestScore || (score == bestScore && nb < bestPhys) {
 					bestPhys, bestScore = nb, score
 				}

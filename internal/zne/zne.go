@@ -148,7 +148,7 @@ func ExtrapolateRichardson(points []Point) (float64, error) {
 	pts := append([]Point(nil), points...)
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Scale < pts[j].Scale })
 	for i := 1; i < len(pts); i++ {
-		if pts[i].Scale == pts[i-1].Scale {
+		if pts[i].Scale == pts[i-1].Scale { //qbeep:allow-floatcmp input validation: caller-supplied scales must be distinct, not approximately so
 			return 0, fmt.Errorf("zne: duplicate scale %v", pts[i].Scale)
 		}
 	}
