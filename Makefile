@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke bench-core bench-sim fuzz-smoke ci
+.PHONY: all build vet lint test race bench-smoke bench-core bench-sim fuzz-smoke obs-smoke ci
 
 # Extra worker counts the determinism tests sweep on top of their
 # built-in {1, 4, GOMAXPROCS} matrix. Comma-separated. The matrix
@@ -73,4 +73,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQASM$$' -fuzztime 5s ./internal/qasm
 	$(GO) test -run '^$$' -fuzz '^FuzzDistFromCounts$$' -fuzztime 5s ./internal/bitstring
 
-ci: vet lint test race bench-smoke
+# obs-smoke: end-to-end observability check. The built qbeep-trace
+# analyzes the golden pipeline fixture (aggregate table, critical path,
+# Chrome export), then scripts/obssmoke scrapes /healthz and /metrics
+# from a throwaway debug server on an ephemeral port.
+obs-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/qbeep-trace ./cmd/qbeep-trace; \
+	$$tmp/qbeep-trace internal/tracefile/testdata/pipeline.ndjson | tee $$tmp/report.txt; \
+	grep -q 'critical path (trace 1' $$tmp/report.txt; \
+	grep -q 'qbeep.pipeline' $$tmp/report.txt; \
+	$$tmp/qbeep-trace -chrome -o $$tmp/trace.json internal/tracefile/testdata/pipeline.ndjson; \
+	grep -q 'traceEvents' $$tmp/trace.json; \
+	$(GO) run ./scripts/obssmoke
+
+ci: vet lint test race bench-smoke obs-smoke

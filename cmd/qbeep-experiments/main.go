@@ -32,14 +32,15 @@ func main() {
 
 func run() error {
 	var (
-		figs      = flag.String("fig", "all", "comma-separated figure ids (1,2,4,6,7,8,9,10,11), 'ablations', or 'all'")
-		scale     = flag.Float64("scale", 1, "corpus scale in (0,1]")
-		shots     = flag.Int("shots", 4096, "shots per circuit")
-		seed      = flag.Uint64("seed", 20230617, "root RNG seed")
-		csvDir    = flag.String("csv", "", "directory for per-figure CSV dumps (created if missing)")
-		report    = flag.String("report", "", "write a machine-readable JSON run report to this path ('-' = stderr)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof/ and /debug/vars on this address (e.g. localhost:6060)")
-		logFlags  = obs.AddLogFlags(nil)
+		figs       = flag.String("fig", "all", "comma-separated figure ids (1,2,4,6,7,8,9,10,11), 'ablations', or 'all'")
+		scale      = flag.Float64("scale", 1, "corpus scale in (0,1]")
+		shots      = flag.Int("shots", 4096, "shots per circuit")
+		seed       = flag.Uint64("seed", 20230617, "root RNG seed")
+		csvDir     = flag.String("csv", "", "directory for per-figure CSV dumps (created if missing)")
+		report     = flag.String("report", "", "write a machine-readable JSON run report to this path ('-' = stderr)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof/, /debug/vars, /metrics and /healthz on this address (e.g. localhost:6060)")
+		traceFlags = obs.AddTraceFlags(nil)
+		logFlags   = obs.AddLogFlags(nil)
 	)
 	flag.Parse()
 	if err := logFlags.Apply(os.Stderr); err != nil {
@@ -50,8 +51,23 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("starting debug server: %w", err)
 		}
-		defer ds.Close()
+		// Shutdown (not Close) lets an in-flight /metrics or pprof scrape
+		// finish before the process exits.
+		defer func() {
+			if err := ds.Shutdown(5 * time.Second); err != nil {
+				obs.Logger().Warn("debug server shutdown", "err", err)
+			}
+		}()
 	}
+	stopTrace, err := traceFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopTrace(); err != nil {
+			obs.Logger().Warn("flushing trace output", "err", err)
+		}
+	}()
 
 	cfg := experiments.Config{
 		Seed:  *seed,

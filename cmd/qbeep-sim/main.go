@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,14 +29,15 @@ func main() {
 
 func run() error {
 	var (
-		qasmPath = flag.String("qasm", "", "OpenQASM 2.0 circuit (required)")
-		backend  = flag.String("backend", "istanbul", "backend name (see qbeep-backends)")
-		shots    = flag.Int("shots", 4096, "shots")
-		seed     = flag.Uint64("seed", 1, "noise RNG seed")
-		ideal    = flag.Bool("ideal", false, "emit the noiseless distribution instead")
-		meta     = flag.Bool("meta", false, "wrap counts in the metadata envelope (backend, shots, lambda)")
-		outPath  = flag.String("o", "", "output path (default stdout)")
-		logFlags = obs.AddLogFlags(nil)
+		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 circuit (required)")
+		backend    = flag.String("backend", "istanbul", "backend name (see qbeep-backends)")
+		shots      = flag.Int("shots", 4096, "shots")
+		seed       = flag.Uint64("seed", 1, "noise RNG seed")
+		ideal      = flag.Bool("ideal", false, "emit the noiseless distribution instead")
+		meta       = flag.Bool("meta", false, "wrap counts in the metadata envelope (backend, shots, lambda)")
+		outPath    = flag.String("o", "", "output path (default stdout)")
+		traceFlags = obs.AddTraceFlags(nil)
+		logFlags   = obs.AddLogFlags(nil)
 	)
 	flag.Parse()
 	if err := logFlags.Apply(os.Stderr); err != nil {
@@ -48,7 +50,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sim, err := qbeep.Simulate(string(src), *backend, *shots, *seed)
+	stopTrace, err := traceFlags.Start()
+	if err != nil {
+		return err
+	}
+	sim, err := simulate(string(src), *backend, *shots, *seed)
+	// Flush the trace even on failure; its own error surfaces only when
+	// the run otherwise succeeded.
+	if terr := stopTrace(); err == nil {
+		err = terr
+	}
 	if err != nil {
 		return err
 	}
@@ -89,4 +100,19 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*outPath, out, 0o644)
+}
+
+// simulate runs the synthetic induction under the "qbeep.pipeline" root
+// span, so -trace output from qbeep-sim and qbeep share one analyzable
+// shape (parse, transpile, ideal run and induction as children).
+func simulate(src, backend string, shots int, seed uint64) (*qbeep.SimResult, error) {
+	ctx, sp := obs.Start(context.Background(), "qbeep.pipeline")
+	defer sp.End()
+	sim, err := qbeep.SimulateCtx(ctx, src, backend, shots, seed)
+	if err != nil {
+		return nil, err
+	}
+	sp.SetAttr("backend", backend)
+	sp.SetAttr("shots", shots)
+	return sim, nil
 }

@@ -1,0 +1,83 @@
+// Command qbeep-trace analyzes the NDJSON span streams written by the
+// pipeline binaries' -trace flag (cmd/qbeep, qbeep-sim,
+// qbeep-experiments). It reconstructs the trace forest and reports
+// per-name aggregates plus the critical path of the slowest trace:
+//
+//	qbeep -counts counts.json -qasm bv.qasm -trace run.ndjson ...
+//	qbeep-trace run.ndjson
+//
+// With -flame it prints an indented flame view of the slowest trace; with
+// -chrome it instead emits Chrome trace-event JSON for chrome://tracing
+// or Perfetto.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qbeep/internal/tracefile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbeep-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run's named error lets the deferred output-file close surface its
+// error when everything else succeeded.
+func run() (err error) {
+	var (
+		chrome  = flag.Bool("chrome", false, "emit Chrome trace-event JSON instead of the report")
+		flame   = flag.Bool("flame", false, "also print a text flame view of the slowest trace")
+		outPath = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: qbeep-trace [-chrome|-flame] [-o out] trace.ndjson ('-' = stdin)")
+	}
+	in := io.Reader(os.Stdin)
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	forest, err := tracefile.Parse(in)
+	if err != nil {
+		return err
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, oerr := os.Create(*outPath)
+		if oerr != nil {
+			return oerr
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		out = f
+	}
+	if *chrome {
+		return tracefile.WriteChrome(out, forest)
+	}
+	if err := tracefile.WriteReport(out, forest); err != nil {
+		return err
+	}
+	if *flame {
+		if slow := forest.Slowest(); slow != nil {
+			fmt.Fprintln(out)
+			if err := tracefile.WriteFlame(out, slow); err != nil {
+				return err
+			}
+		}
+	}
+	return err
+}

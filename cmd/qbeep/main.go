@@ -11,18 +11,22 @@
 // 2.0 circuit plus a named synthetic backend (-qasm, -backend), which is
 // the paper's pre-induction Eq. 2 path.
 //
+// With -trace the run writes its span tree (rooted at "qbeep.pipeline",
+// with per-iteration mitigation children carrying flow/Hellinger attrs)
+// as NDJSON for offline analysis by cmd/qbeep-trace.
+//
 // Usage:
 //
 //	qbeep -counts counts.json -lambda 1.4
 //	qbeep -counts counts.json -qasm circuit.qasm -backend istanbul
-//	qbeep -counts counts.json -qasm circuit.qasm -backend istanbul -iterations 20 -epsilon 0.05
+//	qbeep -counts counts.json -lambda 1.4 -trace run.ndjson && qbeep-trace run.ndjson
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"qbeep"
@@ -39,6 +43,18 @@ func main() {
 	}
 }
 
+// config carries the parsed flags into the traced pipeline body.
+type config struct {
+	countsPath string
+	lambda     float64
+	qasmPath   string
+	backend    string
+	iterations int
+	epsilon    float64
+	dotPath    string
+	outPath    string
+}
+
 func run() error {
 	var (
 		countsPath = flag.String("counts", "", "path to counts JSON (required)")
@@ -49,39 +65,69 @@ func run() error {
 		epsilon    = flag.Float64("epsilon", 0.05, "edge threshold ε")
 		dotPath    = flag.String("dot", "", "also write the pre-mitigation state graph as Graphviz DOT")
 		outPath    = flag.String("o", "", "output path (default stdout)")
-		tracePath  = flag.String("trace", "", "write per-iteration mitigation stats as JSON lines ('-' = stderr)")
+		traceFlags = obs.AddTraceFlags(nil)
 		logFlags   = obs.AddLogFlags(nil)
 	)
 	flag.Parse()
 	if err := logFlags.Apply(os.Stderr); err != nil {
 		return err
 	}
-
 	if *countsPath == "" {
 		return fmt.Errorf("-counts is required")
 	}
-	file, err := results.Load(*countsPath)
+	stopTrace, err := traceFlags.Start()
+	if err != nil {
+		return err
+	}
+	err = pipeline(config{
+		countsPath: *countsPath,
+		lambda:     *lambda,
+		qasmPath:   *qasmPath,
+		backend:    *backend,
+		iterations: *iterations,
+		epsilon:    *epsilon,
+		dotPath:    *dotPath,
+		outPath:    *outPath,
+	})
+	// The sink must flush even when the pipeline failed — a partial trace
+	// still analyzes — and its own error surfaces only on success.
+	if terr := stopTrace(); err == nil {
+		err = terr
+	}
+	return err
+}
+
+// pipeline runs the mitigation workflow under the "qbeep.pipeline" root
+// span: loading counts, resolving λ, the optional DOT dump, mitigation,
+// and output.
+func pipeline(cfg config) error {
+	ctx, sp := obs.Start(context.Background(), "qbeep.pipeline")
+	// Ending via defer keeps the span from leaking on the many error
+	// returns (qbeep-lint spanend); attributes set below still precede it.
+	defer sp.End()
+
+	file, err := results.Load(cfg.countsPath)
 	if err != nil {
 		return err
 	}
 	counts := file.Counts
 
-	lam := *lambda
+	lam := cfg.lambda
 	if lam < 0 && file.Lambda > 0 {
 		// The counts envelope already carries a pre-induction estimate
 		// (qbeep-sim -meta writes it).
 		lam = file.Lambda
-		obs.Logger().Info("using lambda from counts envelope", "lambda", lam, "path", *countsPath)
+		obs.Logger().Info("using lambda from counts envelope", "lambda", lam, "path", cfg.countsPath)
 	}
 	if lam < 0 {
-		if *qasmPath == "" || *backend == "" {
+		if cfg.qasmPath == "" || cfg.backend == "" {
 			return fmt.Errorf("provide -lambda, a counts envelope with lambda, or -qasm and -backend")
 		}
-		src, err := os.ReadFile(*qasmPath)
+		src, err := os.ReadFile(cfg.qasmPath)
 		if err != nil {
 			return err
 		}
-		est, err := qbeep.EstimateLambdaQASM(string(src), *backend)
+		est, err := qbeep.EstimateLambdaQASMCtx(ctx, string(src), cfg.backend)
 		if err != nil {
 			return err
 		}
@@ -90,16 +136,16 @@ func run() error {
 			"lambda", lam, "t1", est.T1, "t2", est.T2, "gates", est.Gates, "schedule_s", est.Time)
 	}
 
-	if *dotPath != "" {
+	if cfg.dotPath != "" {
 		dist, err := bitstring.FromStringCounts(counts)
 		if err != nil {
 			return err
 		}
-		g, err := core.BuildStateGraph(dist, core.PoissonEdges{Lambda: lam}, *epsilon)
+		g, err := core.BuildStateGraphCtx(ctx, dist, core.PoissonEdges{Lambda: lam}, cfg.epsilon, 0)
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*dotPath)
+		f, err := os.Create(cfg.dotPath)
 		if err != nil {
 			return err
 		}
@@ -110,39 +156,25 @@ func run() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		obs.Logger().Info("wrote state graph", "stats", g.Stats().String(), "path", *dotPath)
+		obs.Logger().Info("wrote state graph", "stats", g.Stats().String(), "path", cfg.dotPath)
 	}
 
-	opts := qbeep.Options{Iterations: *iterations, Epsilon: *epsilon}
-	var tracer *traceRecorder
-	if *tracePath != "" {
-		var tw io.Writer = os.Stderr
-		if *tracePath != "-" {
-			f, err := os.Create(*tracePath)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			tw = f
-		}
-		tracer = &traceRecorder{w: tw}
-		opts.OnIteration = tracer.onIteration
-	}
-	mitigated, err := qbeep.Mitigate(counts, lam, opts)
+	opts := qbeep.Options{Iterations: cfg.iterations, Epsilon: cfg.epsilon}
+	mitigated, err := qbeep.MitigateCtx(ctx, counts, lam, opts)
 	if err != nil {
 		return err
 	}
-	if tracer != nil && tracer.err != nil {
-		return fmt.Errorf("writing -trace output: %w", tracer.err)
-	}
+	sp.SetAttr("counts", cfg.countsPath)
+	sp.SetAttr("lambda", lam)
+	sp.SetAttr("iterations", cfg.iterations)
 	out, err := json.MarshalIndent(mitigated, "", "  ")
 	if err != nil {
 		return err
 	}
 	out = append(out, '\n')
-	if *outPath == "" {
+	if cfg.outPath == "" {
 		_, err = os.Stdout.Write(out)
 		return err
 	}
-	return os.WriteFile(*outPath, out, 0o644)
+	return os.WriteFile(cfg.outPath, out, 0o644)
 }

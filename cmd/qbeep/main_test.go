@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qbeep/internal/obs"
+	"qbeep/internal/tracefile"
+)
+
+// TestPipelineTraceEndToEnd runs the real pipeline with the -trace
+// machinery pointed at a temp file, then analyzes the NDJSON with the
+// same library qbeep-trace uses: the whole run must hang off one
+// "qbeep.pipeline" root with the mitigation iterations as descendants,
+// and the critical path must be rooted there.
+func TestPipelineTraceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	countsPath := filepath.Join(dir, "counts.json")
+	counts := map[string]int{"0101": 3812, "0111": 120, "0001": 88, "1101": 60}
+	raw, err := json.Marshal(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(countsPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "run.ndjson")
+
+	tf := obs.TraceFlags{Path: tracePath}
+	stopTrace, err := tf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iterations = 5
+	perr := pipeline(config{
+		countsPath: countsPath,
+		lambda:     1.4,
+		iterations: iterations,
+		epsilon:    0.05,
+		outPath:    filepath.Join(dir, "out.json"),
+	})
+	if err := stopTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if perr != nil {
+		t.Fatal(perr)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	forest, err := tracefile.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(forest.Traces))
+	}
+	tr := forest.Traces[0]
+	root := tr.Root()
+	if root == nil || root.Name != "qbeep.pipeline" {
+		t.Fatalf("root span = %+v", root)
+	}
+	if lam, ok := root.Attr("lambda"); !ok || lam != 1.4 {
+		t.Fatalf("root lambda attr = %v, %v", lam, ok)
+	}
+
+	byName := map[string][]*tracefile.Span{}
+	for _, s := range tr.Spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if n := len(byName["core.mitigate"]); n != 1 {
+		t.Fatalf("core.mitigate spans = %d, want 1", n)
+	}
+	iters := byName["core.mitigate.iter"]
+	if len(iters) != iterations {
+		t.Fatalf("core.mitigate.iter spans = %d, want %d", len(iters), iterations)
+	}
+	for _, it := range iters {
+		if it.Parent == nil || it.Parent.Name != "core.mitigate" {
+			t.Fatalf("iteration span parented under %+v", it.Parent)
+		}
+		if _, ok := it.Attr("flow_moved"); !ok {
+			t.Fatalf("iteration span missing flow_moved attr: %+v", it.SpanEvent)
+		}
+	}
+
+	path := tracefile.CriticalPath(forest.Slowest())
+	if len(path) == 0 || path[0].Name != "qbeep.pipeline" {
+		t.Fatalf("critical path does not start at the pipeline root: %v", path)
+	}
+}
+
+// TestPipelineLambdaFromQASM covers the estimation path: with no -lambda
+// the pipeline parses the circuit, estimates λ on the named backend, and
+// the parse/transpile spans join the same trace.
+func TestPipelineLambdaFromQASM(t *testing.T) {
+	dir := t.TempDir()
+	countsPath := filepath.Join(dir, "counts.json")
+	if err := os.WriteFile(countsPath, []byte(`{"00": 900, "01": 60, "10": 40}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qasmPath := filepath.Join(dir, "bell.qasm")
+	const src = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+	if err := os.WriteFile(qasmPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "run.ndjson")
+
+	tf := obs.TraceFlags{Path: tracePath}
+	stopTrace, err := tf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perr := pipeline(config{
+		countsPath: countsPath,
+		lambda:     -1,
+		qasmPath:   qasmPath,
+		backend:    "istanbul",
+		iterations: 2,
+		epsilon:    0.05,
+		outPath:    filepath.Join(dir, "out.json"),
+	})
+	if err := stopTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if perr != nil {
+		t.Fatal(perr)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	forest, err := tracefile.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := forest.Slowest()
+	if tr == nil {
+		t.Fatal("no trace captured")
+	}
+	seen := map[string]bool{}
+	for _, s := range tr.Spans {
+		seen[s.Name] = true
+	}
+	for _, want := range []string{"qbeep.pipeline", "qasm.parse", "transpile", "core.mitigate"} {
+		if !seen[want] {
+			t.Fatalf("trace missing span %q (have %v)", want, seen)
+		}
+	}
+}

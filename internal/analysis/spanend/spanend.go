@@ -1,8 +1,9 @@
 // Package spanend enforces the obs span lifecycle: every span returned
-// by obs.StartSpan must be ended on every return path of the function
-// that started it. A leaked span never reaches the sink, so the trace
-// silently under-reports exactly the runs that failed — the worst
-// possible bias for an observability layer.
+// by obs.StartSpan or the two-value obs.Start(ctx, name) must be ended
+// on every return path of the function that started it. A leaked span
+// never reaches the sink, so the trace silently under-reports exactly
+// the runs that failed — the worst possible bias for an observability
+// layer.
 //
 // The check is an intraprocedural heuristic, deliberately conservative:
 //
@@ -32,7 +33,7 @@ import (
 // Analyzer is the spanend checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "spanend",
-	Doc:  "every obs.StartSpan must be ended on all return paths of the starting function",
+	Doc:  "every obs.StartSpan / obs.Start span must be ended on all return paths of the starting function",
 	Run:  run,
 }
 
@@ -57,7 +58,8 @@ func run(pass *analysis.Pass) error {
 type spanVar struct {
 	obj      types.Object
 	name     string // variable name
-	spanName string // StartSpan string-literal argument, if constant
+	fun      string // "StartSpan" or "Start"
+	spanName string // span-name string-literal argument, if constant
 	pos      token.Pos
 	escapes  bool
 	deferred bool      // defer sp.End() (or deferred closure calling it)
@@ -91,16 +93,18 @@ func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
 			if sv, ok := spanStart(pass, n); ok {
 				if sv.obj == nil {
 					pass.Report(n.Pos(), "spanleak",
-						"result of obs.StartSpan%s discarded: the span can never be ended", spanLabel(sv))
+						"span result of obs.%s%s discarded: the span can never be ended", sv.fun, spanLabel(sv))
 					return
 				}
 				spans[sv.obj] = sv
 				order = append(order, sv)
 			}
 		case *ast.ExprStmt:
-			if call, ok := n.X.(*ast.CallExpr); ok && isStartSpan(pass, call) {
-				pass.Report(n.Pos(), "spanleak",
-					"result of obs.StartSpan%s discarded: the span can never be ended", spanLabel(&spanVar{spanName: spanNameOf(call)}))
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if fun, ok := startFun(pass, call); ok {
+					pass.Report(n.Pos(), "spanleak",
+						"span result of obs.%s%s discarded: the span can never be ended", fun, spanLabel(&spanVar{spanName: spanNameOf(call)}))
+				}
 			}
 		case *ast.ReturnStmt:
 			if !inDefer {
@@ -288,22 +292,37 @@ func blockSet(stack []ast.Node) map[*ast.BlockStmt]bool {
 	return out
 }
 
-// spanStart recognizes `sp := obs.StartSpan(...)` (and `=`). A blank
-// identifier target is a discard (obj nil); any other assignment shape
-// involving StartSpan is left to escape analysis.
+// spanStart recognizes `sp := obs.StartSpan(...)` and the two-value
+// `ctx, sp := obs.Start(ctx, ...)` (and the `=` forms). A blank
+// identifier in the span position is a discard (obj nil); any other
+// assignment shape is left to escape analysis. The context result of
+// Start is not tracked — only the span carries the End obligation.
 func spanStart(pass *analysis.Pass, assign *ast.AssignStmt) (*spanVar, bool) {
-	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+	if len(assign.Rhs) != 1 {
 		return nil, false
 	}
 	call, ok := assign.Rhs[0].(*ast.CallExpr)
-	if !ok || !isStartSpan(pass, call) {
-		return nil, false
-	}
-	id, ok := assign.Lhs[0].(*ast.Ident)
 	if !ok {
 		return nil, false
 	}
-	sv := &spanVar{spanName: spanNameOf(call), pos: assign.Pos()}
+	fun, ok := startFun(pass, call)
+	if !ok {
+		return nil, false
+	}
+	var target ast.Expr
+	switch {
+	case fun == "StartSpan" && len(assign.Lhs) == 1:
+		target = assign.Lhs[0]
+	case fun == "Start" && len(assign.Lhs) == 2:
+		target = assign.Lhs[1] // (ctx, span)
+	default:
+		return nil, false
+	}
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	sv := &spanVar{fun: fun, spanName: spanNameOf(call), pos: assign.Pos()}
 	if id.Name == "_" {
 		return sv, true
 	}
@@ -312,26 +331,37 @@ func spanStart(pass *analysis.Pass, assign *ast.AssignStmt) (*spanVar, bool) {
 	return sv, sv.obj != nil
 }
 
-// isStartSpan reports whether call invokes StartSpan from an obs
-// package (matched by import-path base so analysistest stubs work).
-func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
+// startFun reports whether call invokes StartSpan or Start from an obs
+// package (matched by import-path base so analysistest stubs work),
+// returning the function name.
+func startFun(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "StartSpan" {
-		return false
+	if !ok || (sel.Sel.Name != "StartSpan" && sel.Sel.Name != "Start") {
+		return "", false
 	}
 	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil {
-		return false
+		return "", false
 	}
-	return analysis.PkgPathBase(fn.Pkg().Path()) == "obs"
+	if analysis.PkgPathBase(fn.Pkg().Path()) != "obs" {
+		return "", false
+	}
+	// Package-level functions only: methods that happen to be named Start
+	// (obs.TraceFlags.Start) don't return spans.
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return sel.Sel.Name, true
 }
 
-// spanNameOf extracts the string-literal span name for diagnostics.
+// spanNameOf extracts the string-literal span name for diagnostics; the
+// name is the sole StartSpan argument or Start's second.
 func spanNameOf(call *ast.CallExpr) string {
-	if len(call.Args) == 1 {
-		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
-			return lit.Value
-		}
+	if len(call.Args) == 0 {
+		return ""
+	}
+	if lit, ok := call.Args[len(call.Args)-1].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		return lit.Value
 	}
 	return ""
 }

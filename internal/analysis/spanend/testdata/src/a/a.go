@@ -2,6 +2,7 @@
 package a
 
 import (
+	"context"
 	"errors"
 
 	"obs"
@@ -82,4 +83,64 @@ func escapes() obs.Span {
 func passedAlong(finish func(obs.Span)) {
 	sp := obs.StartSpan("passed")
 	finish(sp)
+}
+
+// --- two-value obs.Start(ctx, name) form ---
+
+func ctxLeakNoEnd(ctx context.Context) {
+	ctx, sp := obs.Start(ctx, "ctx-leak") // want `never ended`
+	sp.SetAttr("k", 1)
+	_ = ctx
+}
+
+func ctxLeakEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "ctx-early")
+	if fail {
+		return errFail // want `return without ending span`
+	}
+	sp.End()
+	return nil
+}
+
+func ctxDiscardedStmt(ctx context.Context) {
+	obs.Start(ctx, "ctx-discard") // want `discarded`
+}
+
+func ctxDiscardedBlank(ctx context.Context) {
+	_, _ = obs.Start(ctx, "ctx-blank") // want `discarded`
+}
+
+func ctxOKDefer(ctx context.Context, fail bool) error {
+	ctx, sp := obs.Start(ctx, "ctx-defer")
+	defer sp.End()
+	_ = ctx
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+func ctxOKEndBeforeEveryReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "ctx-explicit")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// The flags helper is a method named Start returning no span: not ours.
+func ctxNotASpanStart(f *obs.TraceFlags) error {
+	stop, err := f.Start()
+	if err != nil {
+		return err
+	}
+	return stop()
+}
+
+// escaping spans stay the callee's responsibility in the ctx form too.
+func ctxEscapes(ctx context.Context) obs.Span {
+	_, sp := obs.Start(ctx, "ctx-escape")
+	return sp
 }

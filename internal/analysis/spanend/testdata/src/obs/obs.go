@@ -3,6 +3,8 @@
 // exercise the analyzer without importing the module tree.
 package obs
 
+import "context"
+
 // Span mirrors the value-type span of the real package.
 type Span struct {
 	ended bool
@@ -22,4 +24,20 @@ func (s *Span) SetAttr(key string, value any) {
 // End completes the span.
 func (s *Span) End() {
 	s.ended = true
+}
+
+// Start begins a span as a child of the one in ctx, mirroring the real
+// two-value form.
+func Start(ctx context.Context, name string) (context.Context, Span) {
+	_ = name
+	return ctx, Span{}
+}
+
+// TraceFlags mirrors the real flags helper, whose Start method must NOT
+// be mistaken for the span constructor.
+type TraceFlags struct{}
+
+// Start opens the trace destination.
+func (f *TraceFlags) Start() (func() error, error) {
+	return func() error { return nil }, nil
 }

@@ -25,6 +25,7 @@ package core
 // measures the engine against it.
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"slices"
@@ -171,7 +172,7 @@ type scanResult struct {
 // matching the serial scan's accounting exactly. deg holds vertex i's
 // degree at index i+1 — tallied while the edges materialize, so buildCSR
 // can skip its counting pass.
-func scanEdges(vals []bitstring.BitString, n, radius int, tab weightTable, workers int, strat scanStrategy) (edges []edge, deg []int32, pruned int, used scanStrategy) {
+func scanEdges(ctx context.Context, vals []bitstring.BitString, n, radius int, tab weightTable, workers int, strat scanStrategy) (edges []edge, deg []int32, pruned int, used scanStrategy) {
 	nV := len(vals)
 	if radius <= 0 || nV < 2 {
 		return nil, make([]int32, nV+1), 0, scanNone
@@ -266,7 +267,7 @@ func scanEdges(vals []bitstring.BitString, n, radius int, tab weightTable, worke
 	if chunks == 1 {
 		run(0)
 	} else {
-		par.ForEach(chunks, workers, run)
+		par.ForEachCtx(ctx, chunks, workers, run)
 	}
 
 	var total int

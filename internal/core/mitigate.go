@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -76,21 +77,37 @@ func (o *Options) validate() error {
 // Mitigate runs Q-BEEP over raw counts with the pre-induction rate λ and
 // returns the mitigated distribution (same total mass, re-normalized).
 func Mitigate(counts *bitstring.Dist, lambda float64, opts Options) (*bitstring.Dist, error) {
-	out, _, err := mitigate(counts, lambda, opts, nil)
+	out, _, err := mitigate(context.Background(), counts, lambda, opts, nil)
+	return out, err
+}
+
+// MitigateCtx is Mitigate with trace-context propagation: the
+// "core.mitigate" span (and its graph-build and per-iteration children)
+// parent under the span active in ctx.
+func MitigateCtx(ctx context.Context, counts *bitstring.Dist, lambda float64, opts Options) (*bitstring.Dist, error) {
+	out, _, err := mitigate(ctx, counts, lambda, opts, nil)
 	return out, err
 }
 
 // MitigateTracked is Mitigate plus the per-iteration fidelity trace
 // against the supplied ideal distribution (Fig. 7(c)). trace[0] is the
 // pre-mitigation fidelity; trace[i] the fidelity after iteration i.
+// Tracked runs additionally record the per-iteration Hellinger distance
+// to ideal into the "core.mitigate.hellinger" histogram and onto the
+// iteration spans, so convergence is observable without a callback.
 func MitigateTracked(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitstring.Dist) (*bitstring.Dist, []float64, error) {
+	return MitigateTrackedCtx(context.Background(), counts, lambda, opts, ideal)
+}
+
+// MitigateTrackedCtx is MitigateTracked with trace-context propagation.
+func MitigateTrackedCtx(ctx context.Context, counts *bitstring.Dist, lambda float64, opts Options, ideal *bitstring.Dist) (*bitstring.Dist, []float64, error) {
 	if ideal == nil {
 		return nil, nil, fmt.Errorf("core: MitigateTracked requires an ideal distribution")
 	}
-	return mitigate(counts, lambda, opts, ideal)
+	return mitigate(ctx, counts, lambda, opts, ideal)
 }
 
-func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitstring.Dist) (*bitstring.Dist, []float64, error) {
+func mitigate(ctx context.Context, counts *bitstring.Dist, lambda float64, opts Options, ideal *bitstring.Dist) (*bitstring.Dist, []float64, error) {
 	if err := opts.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -107,12 +124,12 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 	if w == nil {
 		w = PoissonEdges{Lambda: lambda}
 	}
-	sp := obs.StartSpan("core.mitigate")
+	ctx, sp := obs.Start(ctx, "core.mitigate")
 	// Ending via defer keeps the span from leaking on the graph-build
 	// error return (qbeep-lint spanend); attributes below still precede it.
 	defer sp.End()
 	stop := metMitigate.Start()
-	g, err := BuildStateGraphWorkers(counts, w, opts.Epsilon, opts.BuildWorkers)
+	g, err := BuildStateGraphCtx(ctx, counts, w, opts.Epsilon, opts.BuildWorkers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -121,13 +138,23 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 		trace = append(trace, bitstring.Fidelity(ideal, counts))
 	}
 	var last StepStats
-	for i := 1; i <= opts.Iterations; i++ {
+	// The round body lives in its own scope so the per-iteration span's
+	// lifecycle is a straight start→End line (qbeep-lint spanend).
+	iterate := func(i int) {
 		eta := opts.LearningRate(i)
 		var t0 time.Time
 		if opts.OnIteration != nil {
 			t0 = time.Now() //qbeep:allow-time per-iteration callback timing, not kernel state
 		}
+		// One child span per update round; inert (and free) unless a
+		// sink is installed.
+		_, isp := obs.Start(ctx, "core.mitigate.iter")
 		last = g.Step(eta)
+		isp.SetAttr("iteration", i)
+		isp.SetAttr("eta", eta)
+		isp.SetAttr("flow_moved", last.FlowMoved)
+		isp.SetAttr("l1_delta", last.L1Delta)
+		metIterFlow.Observe(last.FlowMoved)
 		if opts.OnIteration != nil {
 			opts.OnIteration(IterationStats{
 				Iteration: i,
@@ -142,8 +169,18 @@ func mitigate(counts *bitstring.Dist, lambda float64, opts Options, ideal *bitst
 		if ideal != nil {
 			// Fidelity straight off the node slice: snapshotting a Dist
 			// per iteration was the tracked loop's dominant allocation.
-			trace = append(trace, g.Fidelity(ideal))
+			// Hellinger is derived from the same Bhattacharyya sum, so
+			// the nodes are scanned once per iteration, not twice.
+			f := g.Fidelity(ideal)
+			trace = append(trace, f)
+			h := hellingerFromFidelity(f)
+			metHellinger.Observe(h)
+			isp.SetAttr("hellinger", h)
 		}
+		isp.End()
+	}
+	for i := 1; i <= opts.Iterations; i++ {
+		iterate(i)
 	}
 	out := g.Dist().Normalized(counts.Total())
 	stop()

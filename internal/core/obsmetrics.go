@@ -20,4 +20,9 @@ var (
 	metMitigate      = obs.Default.Timer("core.mitigate")
 	metFlowMoved     = obs.Default.Histogram("core.mitigate.flow_moved")
 	metFinalL1       = obs.Default.Histogram("core.mitigate.final_l1_delta")
+	// Convergence telemetry (paper Fig. 7(c) territory): per-iteration
+	// residual flow for every run, per-iteration Hellinger distance to
+	// the ideal for tracked runs.
+	metIterFlow  = obs.Default.Histogram("core.mitigate.iter_flow")
+	metHellinger = obs.Default.Histogram("core.mitigate.hellinger")
 )

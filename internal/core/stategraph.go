@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -203,14 +204,26 @@ func BuildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*Stat
 // so the edge array — and every downstream Step — never depends on
 // scheduling.
 func BuildStateGraphWorkers(counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int) (*StateGraph, error) {
-	return buildStateGraph(counts, w, eps, workers, scanAuto)
+	return buildStateGraphCtx(context.Background(), counts, w, eps, workers, scanAuto)
+}
+
+// BuildStateGraphCtx is BuildStateGraphWorkers with trace-context
+// propagation: the "core.graph.build" span becomes a child of the span
+// active in ctx, and the parallel edge scan's worker spans parent under
+// it.
+func BuildStateGraphCtx(ctx context.Context, counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int) (*StateGraph, error) {
+	return buildStateGraphCtx(ctx, counts, w, eps, workers, scanAuto)
 }
 
 func buildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int, strat scanStrategy) (*StateGraph, error) {
+	return buildStateGraphCtx(context.Background(), counts, w, eps, workers, strat)
+}
+
+func buildStateGraphCtx(ctx context.Context, counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int, strat scanStrategy) (*StateGraph, error) {
 	if err := validateBuild(counts, w, eps); err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("core.graph.build")
+	ctx, sp := obs.Start(ctx, "core.graph.build")
 	t0 := time.Now() //qbeep:allow-time span/metric timing, not kernel state
 	g, vals := initStateGraph(counts, w, eps)
 	tab := newWeightTable(w, eps, g.n, g.radius)
@@ -221,7 +234,7 @@ func buildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64, worker
 	g.radius = tab.effectiveRadius()
 	var used scanStrategy
 	var deg []int32
-	g.edges, deg, g.pruned, used = scanEdges(vals, g.n, g.radius, tab, workers, strat)
+	g.edges, deg, g.pruned, used = scanEdges(ctx, vals, g.n, g.radius, tab, workers, strat)
 	g.buildCSRCounted(deg)
 	elapsed := time.Since(t0) //qbeep:allow-time span/metric timing, not kernel state
 	metGraphBuild.ObserveDuration(elapsed)
@@ -313,6 +326,24 @@ func (g *StateGraph) Fidelity(ideal *bitstring.Dist) float64 {
 		}
 	}
 	return s * s
+}
+
+// Hellinger computes the Hellinger distance between ideal and the
+// graph's current counts, H = sqrt(1 − Σ sqrt(p q)), straight off the
+// node slice like Fidelity; it equals bitstring.Hellinger(ideal,
+// g.Dist()). The tracked-mitigation loop records it per iteration.
+func (g *StateGraph) Hellinger(ideal *bitstring.Dist) float64 {
+	return hellingerFromFidelity(g.Fidelity(ideal))
+}
+
+// hellingerFromFidelity converts a Bhattacharyya fidelity F = BC² into
+// the Hellinger distance sqrt(1 − BC), mirroring bitstring.Hellinger.
+func hellingerFromFidelity(f float64) float64 {
+	bc := math.Sqrt(f)
+	if bc > 1 {
+		bc = 1
+	}
+	return math.Sqrt(1 - bc)
 }
 
 // stepScratch holds Step's working set, sized once per graph so the

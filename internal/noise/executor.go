@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -61,23 +62,40 @@ func (e *Executor) Backend() *device.Backend { return e.backend }
 // the logical circuit (transpilation is semantics-preserving), so register
 // width is bounded by the logical width, not the physical device size.
 func (e *Executor) Execute(c *circuit.Circuit, shots int, rng *mathx.RNG) (*Run, error) {
+	return e.ExecuteCtx(context.Background(), c, shots, rng)
+}
+
+// ExecuteCtx is Execute with trace-context propagation: the transpile
+// and noise.execute spans parent under the span active in ctx.
+func (e *Executor) ExecuteCtx(ctx context.Context, c *circuit.Circuit, shots int, rng *mathx.RNG) (*Run, error) {
 	if shots <= 0 {
 		return nil, fmt.Errorf("noise: shots %d must be positive", shots)
 	}
 	if c.N > statevector.MaxQubits {
 		return nil, fmt.Errorf("noise: %d logical qubits exceeds simulator limit %d", c.N, statevector.MaxQubits)
 	}
-	res, err := transpile.Transpile(c, e.backend, nil)
+	res, err := transpile.TranspileCtx(ctx, c, e.backend, nil)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteTranspiled(c, res, shots, rng)
+	return e.ExecuteTranspiledCtx(ctx, c, res, shots, rng)
 }
 
 // ExecuteTranspiled is Execute for a circuit already transpiled (the
 // caller controls layout / reuses the artifact).
 func (e *Executor) ExecuteTranspiled(logical *circuit.Circuit, res *transpile.Result, shots int, rng *mathx.RNG) (*Run, error) {
-	ideal, err := statevector.IdealDist(logical)
+	return e.ExecuteTranspiledCtx(context.Background(), logical, res, shots, rng)
+}
+
+// ExecuteTranspiledCtx is ExecuteTranspiled with trace-context
+// propagation: the "noise.execute" span covers the ideal reference run
+// (its "sim.run" child), rate derivation, and sampling.
+func (e *Executor) ExecuteTranspiledCtx(ctx context.Context, logical *circuit.Circuit, res *transpile.Result, shots int, rng *mathx.RNG) (*Run, error) {
+	ctx, sp := obs.Start(ctx, "noise.execute")
+	// Ending via defer keeps the span from leaking on the ideal-run and
+	// rates error returns (qbeep-lint spanend).
+	defer sp.End()
+	ideal, err := statevector.IdealDistCtx(ctx, logical)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +103,6 @@ func (e *Executor) ExecuteTranspiled(logical *circuit.Circuit, res *transpile.Re
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("noise.execute")
 	t0 := time.Now() //qbeep:allow-time span/metric timing, not kernel state
 	counts := e.sampleNoisy(logical, ideal, res, rates, shots, rng)
 	elapsed := time.Since(t0) //qbeep:allow-time span/metric timing, not kernel state
@@ -96,7 +113,6 @@ func (e *Executor) ExecuteTranspiled(logical *circuit.Circuit, res *transpile.Re
 	}
 	sp.SetAttr("circuit", logical.Name)
 	sp.SetAttr("shots", shots)
-	sp.End()
 	obs.Logger().Debug("noisy induction",
 		"circuit", logical.Name, "backend", e.backend.Name,
 		"shots", shots, "elapsed", elapsed)

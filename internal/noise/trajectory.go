@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -72,6 +73,13 @@ var pauliKinds = [3]circuit.Kind{circuit.X, circuit.Y, circuit.Z}
 // circuit is not routed here; this sampler is a physics-level control, not
 // a device-exact one).
 func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString, shots int, rng *mathx.RNG) (*bitstring.Dist, error) {
+	return t.SampleCtx(context.Background(), c, init, shots, rng)
+}
+
+// SampleCtx is Sample with trace-context propagation: the
+// "sim.trajectory" span parents under the span active in ctx, and the
+// shot fan-out's worker spans parent under it.
+func (t *TrajectorySampler) SampleCtx(ctx context.Context, c *circuit.Circuit, init bitstring.BitString, shots int, rng *mathx.RNG) (*bitstring.Dist, error) {
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
@@ -124,13 +132,13 @@ func (t *TrajectorySampler) Sample(c *circuit.Circuit, init bitstring.BitString,
 	}
 	chunk := (shots + workers - 1) / workers
 
-	sp := obs.StartSpan("sim.trajectory")
+	ctx, sp := obs.Start(ctx, "sim.trajectory")
 	// Ending via defer keeps the span from leaking on the fan-out error
 	// path (qbeep-lint spanend); attributes set below still precede it.
 	defer sp.End()
 	t0 := time.Now() //qbeep:allow-time span/metric timing, not kernel state
 	locals := make([]*bitstring.Dist, workers)
-	err := par.ForEach(workers, workers, func(w int) error {
+	err := par.ForEachCtx(ctx, workers, workers, func(w int) error {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > shots {

@@ -1,15 +1,19 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // DebugServer serves the runtime profiling and metrics endpoints:
-// /debug/pprof/ (net/http/pprof) and /debug/vars (expvar, including the
-// Default metrics registry as "qbeep_metrics").
+// /debug/pprof/ (net/http/pprof), /debug/vars (expvar, including the
+// Default metrics registry as "qbeep_metrics"), /metrics (Prometheus
+// text exposition of the Default registry plus the runtime sampler),
+// and /healthz.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -17,7 +21,7 @@ type DebugServer struct {
 
 // ServeDebug publishes the Default registry to expvar and starts the
 // debug HTTP server on addr (e.g. "localhost:6060"; a ":0" port picks a
-// free one — read it back from Addr). The server runs until Close.
+// free one — read it back from Addr). The server runs until Shutdown.
 func ServeDebug(addr string) (*DebugServer, error) {
 	PublishExpvar()
 	mux := http.NewServeMux()
@@ -27,6 +31,19 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Runtime gauges are refreshed per scrape so they cost nothing
+		// in between.
+		SampleRuntime(Default)
+		w.Header().Set("Content-Type", PromContentType)
+		if err := WritePrometheus(w, Default); err != nil {
+			Logger().Warn("metrics exposition failed", "err", err)
+		}
+	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -34,19 +51,39 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	}
 	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
 	go func() {
-		// http.ErrServerClosed after Close is the expected shutdown path;
-		// anything else is worth a log line but must not kill the run.
+		// http.ErrServerClosed after Shutdown/Close is the expected
+		// shutdown path; anything else is worth a log line but must not
+		// kill the run.
 		if err := ds.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			Logger().Warn("debug server stopped", "addr", addr, "err", err)
 		}
 	}()
 	Logger().Info("debug server listening",
-		"addr", ds.Addr(), "pprof", "/debug/pprof/", "vars", "/debug/vars")
+		"addr", ds.Addr(), "pprof", "/debug/pprof/", "vars", "/debug/vars",
+		"metrics", "/metrics", "healthz", "/healthz")
 	return ds, nil
 }
 
 // Addr returns the bound address (useful with a ":0" listen port).
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Shutdown stops the server gracefully, letting in-flight pprof and
+// metrics scrapes finish for up to timeout (a non-positive timeout
+// means 5s) before force-closing the remaining connections.
+func (d *DebugServer) Shutdown(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		// Deadline hit with scrapes still running: drop them rather than
+		// hang the process exit.
+		return d.srv.Close()
+	}
+	return nil
+}
+
+// Close stops the server via the graceful Shutdown path with the
+// default deadline.
+func (d *DebugServer) Close() error { return d.Shutdown(0) }

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"flag"
+	"fmt"
 	"io"
+	"os"
 )
 
 // LogFlags holds the values of the shared logging flags.
@@ -35,4 +37,57 @@ func (f *LogFlags) Apply(w io.Writer) error {
 		SetSpanSink(LogSink())
 	}
 	return nil
+}
+
+// TraceFlags holds the value of the shared -trace flag.
+type TraceFlags struct {
+	Path string
+}
+
+// AddTraceFlags registers the shared -trace flag on fs (the default
+// flag set when fs is nil) and returns the destination struct. Call
+// Start after flag parsing.
+func AddTraceFlags(fs *flag.FlagSet) *TraceFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &TraceFlags{}
+	fs.StringVar(&f.Path, "trace", "",
+		"write spans as NDJSON to this file ('-' = stderr); analyze with qbeep-trace")
+	return f
+}
+
+// Start opens the trace destination and installs an NDJSON span sink
+// (overriding any sink a debug log level installed). The returned stop
+// function uninstalls the sink, flushes, and reports the first write
+// error; it must run before the process exits for the trace to be
+// complete. With an empty path both Start and stop are no-ops.
+func (f *TraceFlags) Start() (stop func() error, err error) {
+	if f.Path == "" {
+		return func() error { return nil }, nil
+	}
+	var file *os.File
+	w := io.Writer(os.Stderr)
+	if f.Path != "-" {
+		file, err = os.Create(f.Path)
+		if err != nil {
+			return nil, err
+		}
+		w = file
+	}
+	sink := NewNDJSONSink(w)
+	SetSpanSink(sink)
+	return func() error {
+		SetSpanSink(nil)
+		err := sink.Flush()
+		if file != nil {
+			if cerr := file.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("writing -trace output: %w", err)
+		}
+		return nil
+	}, nil
 }

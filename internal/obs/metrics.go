@@ -50,15 +50,25 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // quantile estimates. Count/sum/min/max cover the full lifetime.
 const histWindow = 512
 
-// Histogram records float64 observations: exact count/sum/min/max over
-// the metric's lifetime plus a sliding window of the last histWindow
-// observations for quantiles. Observe takes one short mutex hold; hot
-// loops should accumulate locally and observe once per batch.
+// histBuckets are the fixed upper bounds of the lifetime bucket counts
+// (decades from 10 ns to 10 ks): wide enough for both the duration
+// metrics (seconds) and the dimensionless convergence telemetry. An
+// implicit +Inf bucket catches the overflow.
+var histBuckets = [...]float64{
+	1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1e3, 1e4,
+}
+
+// Histogram records float64 observations: exact count/sum/min/max and
+// fixed exponential bucket counts over the metric's lifetime, plus a
+// sliding window of the last histWindow observations for quantiles.
+// Observe takes one short mutex hold; hot loops should accumulate
+// locally and observe once per batch.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      float64
 	min, max float64
+	buckets  [len(histBuckets) + 1]int64 // per-bucket (non-cumulative); last is +Inf
 	window   [histWindow]float64
 	wlen     int // filled prefix of window
 	wpos     int // next overwrite position
@@ -75,12 +85,40 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	b := len(histBuckets)
+	for i, ub := range histBuckets {
+		if v <= ub {
+			b = i
+			break
+		}
+	}
+	h.buckets[b]++
 	h.window[h.wpos] = v
 	h.wpos = (h.wpos + 1) % histWindow
 	if h.wlen < histWindow {
 		h.wlen++
 	}
 	h.mu.Unlock()
+}
+
+// BucketBounds returns the shared upper bounds of the lifetime buckets
+// (the +Inf bucket is implicit).
+func BucketBounds() []float64 {
+	return append([]float64(nil), histBuckets[:]...)
+}
+
+// CumulativeBuckets returns the Prometheus-style cumulative counts, one
+// per bound plus the trailing +Inf bucket (always equal to Count).
+func (h *Histogram) CumulativeBuckets() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int64, len(h.buckets))
+	var acc int64
+	for i, c := range h.buckets {
+		acc += c
+		out[i] = acc
+	}
+	return out
 }
 
 // Count returns the lifetime number of observations.

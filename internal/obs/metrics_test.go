@@ -45,6 +45,78 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveSnapshotConcurrent races readers against writers:
+// Snapshot, Quantile and CumulativeBuckets run while Observe is in
+// flight. The invariants checked are the ones a torn read would break;
+// the real assertion is the race detector on the Makefile race target.
+func TestHistogramObserveSnapshotConcurrent(t *testing.T) {
+	var h Histogram
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				if s.Count > 0 && (s.Min > s.Max || s.Sum < 0) {
+					t.Errorf("torn snapshot: %+v", s)
+					return
+				}
+				_ = h.Quantile(0.5)
+				counts := h.CumulativeBuckets()
+				var prev int64
+				for i, c := range counts {
+					if c < prev {
+						t.Errorf("bucket %d not cumulative: %v", i, counts)
+						return
+					}
+					prev = c
+				}
+				// The +Inf bucket was taken before this Count read, so it
+				// can only lag behind.
+				if len(counts) > 0 && counts[len(counts)-1] > h.Count() {
+					t.Errorf("+Inf bucket %d exceeds count", counts[len(counts)-1])
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(w*perWriter+i) * 1e-6)
+			}
+		}(w)
+	}
+	// Writers finish first; then release the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	closeAfterWriters(&h, writers*perWriter, stop)
+	<-done
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// closeAfterWriters spins until the histogram has absorbed every write,
+// then stops the reader goroutines.
+func closeAfterWriters(h *Histogram, want int, stop chan struct{}) {
+	for h.Count() < int64(want) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stop)
+}
+
 func TestGaugeAdd(t *testing.T) {
 	var g Gauge
 	g.Set(1.5)

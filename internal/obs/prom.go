@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over a Registry.
+//
+// Metric names are prefixed "qbeep_" and sanitized (every character
+// outside [a-zA-Z0-9_] becomes '_'): the counter "par.tasks" is exposed
+// as qbeep_par_tasks_total, the timer "core.mitigate" as the histogram
+// qbeep_core_mitigate_seconds. Each histogram/timer is rendered twice:
+// as a native Prometheus histogram (cumulative _bucket series over the
+// fixed lifetime buckets, plus _sum and _count) and as a companion
+// <name>_window summary carrying the sliding-window quantiles
+// (0.5/0.9/0.99) that back the JSON snapshots.
+
+// PromContentType is the Content-Type the /metrics endpoint serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into a Prometheus one.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("qbeep_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (shortest
+// round-trip form; +Inf/-Inf/NaN spelled out).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in lexical order so the exposition
+// is deterministic (goldens depend on it).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeHistogramFamily renders one histogram (or timer) as a native
+// Prometheus histogram plus the _window quantile summary.
+func writeHistogramFamily(w io.Writer, name string, h *Histogram) error {
+	bounds := histBuckets[:]
+	cum := h.CumulativeBuckets()
+	count := h.Count()
+	sum := h.Sum()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	for i, ub := range bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(ub), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(sum), name, count); err != nil {
+		return err
+	}
+	// Sliding-window quantiles as a summary family; its sum/count cover
+	// the same lifetime totals so rates agree with the histogram.
+	if _, err := fmt.Fprintf(w, "# TYPE %s_window summary\n", name); err != nil {
+		return err
+	}
+	for _, q := range [...]float64{0.5, 0.9, 0.99} {
+		if _, err := fmt.Fprintf(w, "%s_window{quantile=%q} %s\n", name, promFloat(q), promFloat(h.Quantile(q))); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_window_sum %s\n%s_window_count %d\n", name, promFloat(sum), name, count)
+	return err
+}
+
+// WritePrometheus renders every metric of r in the Prometheus text
+// exposition format, families sorted by name within each kind
+// (counters, then gauges, timers, histograms).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	for _, k := range sortedKeys(counters) {
+		name := promName(k) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(gauges) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(gauges[k].Value())); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(timers) {
+		if err := writeHistogramFamily(w, promName(k)+"_seconds", &timers[k].Histogram); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(hists) {
+		if err := writeHistogramFamily(w, promName(k), hists[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// promRegistry builds a registry with one metric of every kind and fixed
+// values, so the exposition bytes are deterministic.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("par.tasks").Add(42)
+	r.Gauge("sim.trajectory.shots_per_sec").Set(1234.5)
+	tm := r.Timer("core.mitigate")
+	tm.ObserveDuration(1500 * time.Microsecond)
+	tm.ObserveDuration(2500 * time.Microsecond)
+	tm.ObserveDuration(350 * time.Millisecond)
+	h := r.Histogram("core.mitigate.hellinger")
+	h.Observe(0.159)
+	h.Observe(0.048)
+	h.Observe(0.016)
+	return r
+}
+
+// TestPrometheusGolden pins the full text exposition: name mangling,
+// family ordering, cumulative buckets and the _window quantile summary.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusFormatInvariants checks structural properties the golden
+// alone would not explain: every series line parses as name{labels} value
+// and histogram buckets are cumulative.
+func TestPrometheusFormatInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	var prevBucket int64 = -1
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "qbeep_") {
+			t.Fatalf("series without qbeep_ prefix: %q", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("series line not `name value`: %q", line)
+		}
+		if strings.Contains(fields[0], "_bucket{le=") {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", fields[1], err)
+			}
+			if strings.Contains(fields[0], `le="1e-08"`) {
+				prevBucket = -1 // new family starts
+			}
+			if v < prevBucket {
+				t.Fatalf("buckets not cumulative at %q", line)
+			}
+			prevBucket = v
+		}
+	}
+}
+
+// readAll drains and closes a response body.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSampleRuntime: the sampler must populate the runtime gauges with
+// plausible live values.
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	if v := r.Gauge("runtime.goroutines").Value(); v < 1 {
+		t.Fatalf("goroutines gauge = %v", v)
+	}
+	if v := r.Gauge("runtime.heap_objects_bytes").Value(); v <= 0 {
+		t.Fatalf("heap gauge = %v", v)
+	}
+	if v := r.Gauge("runtime.gomaxprocs").Value(); v < 1 {
+		t.Fatalf("gomaxprocs gauge = %v", v)
+	}
+}
+
+// TestDebugServerMetricsAndHealth is the /metrics + /healthz acceptance
+// check: valid Prometheus content type, at least one counter, gauge and
+// histogram family, and a 200 ok health probe — then a graceful
+// Shutdown.
+func TestDebugServerMetricsAndHealth(t *testing.T) {
+	Default.Counter("test.prom.hits").Inc()
+	Default.Histogram("test.prom.hist").Observe(0.5)
+	ds, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shut := false
+	defer func() {
+		if !shut {
+			_ = ds.Shutdown(time.Second)
+		}
+	}()
+
+	resp, err := http.Get("http://" + ds.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + ds.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE qbeep_test_prom_hits_total counter",
+		"# TYPE qbeep_runtime_goroutines gauge",
+		"# TYPE qbeep_test_prom_hist histogram",
+		`qbeep_test_prom_hist_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%.600s", want, metrics)
+		}
+	}
+
+	if err := ds.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	shut = true
+	if _, err := http.Get("http://" + ds.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSamples maps runtime/metrics names to the gauges they feed.
+// Sampled on every /metrics scrape (and on demand via SampleRuntime),
+// so the gauges cost nothing between scrapes.
+var runtimeSamples = []struct {
+	name  string
+	gauge string
+}{
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_objects_bytes"},
+	{"/memory/classes/total:bytes", "runtime.memory_total_bytes"},
+	{"/sched/goroutines:goroutines", "runtime.goroutines"},
+	{"/sched/gomaxprocs:threads", "runtime.gomaxprocs"},
+	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles"},
+}
+
+// gcPauses is sampled separately: it is a runtime histogram, summarized
+// into gauges (last-window p50/max total aren't provided, so we expose
+// the distribution's mean and max bucket).
+const gcPauses = "/gc/pauses:seconds"
+
+// SampleRuntime reads the Go runtime metrics (heap, scheduler, GC) and
+// publishes them as gauges on r: runtime.heap_objects_bytes,
+// runtime.memory_total_bytes, runtime.goroutines, runtime.gomaxprocs,
+// runtime.gc_cycles, runtime.gc_pause_mean_seconds and
+// runtime.gc_pause_max_seconds. Unknown metric names (older runtimes)
+// are skipped silently.
+func SampleRuntime(r *Registry) {
+	samples := make([]metrics.Sample, 0, len(runtimeSamples)+1)
+	for _, s := range runtimeSamples {
+		samples = append(samples, metrics.Sample{Name: s.name})
+	}
+	samples = append(samples, metrics.Sample{Name: gcPauses})
+	metrics.Read(samples)
+	for i, s := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			r.Gauge(s.gauge).Set(float64(samples[i].Value.Uint64()))
+		case metrics.KindFloat64:
+			r.Gauge(s.gauge).Set(samples[i].Value.Float64())
+		}
+	}
+	if pauses := samples[len(samples)-1]; pauses.Value.Kind() == metrics.KindFloat64Histogram {
+		mean, max := summarizeRuntimeHist(pauses.Value.Float64Histogram())
+		r.Gauge("runtime.gc_pause_mean_seconds").Set(mean)
+		r.Gauge("runtime.gc_pause_max_seconds").Set(max)
+	}
+}
+
+// summarizeRuntimeHist reduces a runtime Float64Histogram to the count-
+// weighted bucket-midpoint mean and the upper edge of the highest
+// occupied finite bucket.
+func summarizeRuntimeHist(h *metrics.Float64Histogram) (mean, max float64) {
+	var total uint64
+	var weighted float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := h.Buckets[i]
+		hi := h.Buckets[i+1]
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		total += c
+		weighted += float64(c) * (lo + hi) / 2
+		if hi > max {
+			max = hi
+		}
+	}
+	if total > 0 {
+		mean = weighted / float64(total)
+	}
+	return mean, max
+}

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -16,7 +17,7 @@ import (
 // Fan-out metrics (see internal/obs): per-task wall time, batch wall
 // time, and the busy fraction of the worker pool over the last batch.
 var (
-	metTask        = obs.Default.Timer("par.task")
+	metTask        = obs.Default.Histogram("par.task_seconds")
 	metBatch       = obs.Default.Timer("par.batch")
 	metTasks       = obs.Default.Counter("par.tasks")
 	metErrors      = obs.Default.Counter("par.errors")
@@ -57,15 +58,31 @@ func (s Stats) Utilization() float64 {
 // encountered; other tasks still run to completion. fn must only write to
 // per-index state — the helper provides no other synchronization.
 func ForEach(n, workers int, fn func(i int) error) error {
-	_, err := ForEachStats(n, workers, fn)
+	_, err := ForEachStatsCtx(context.Background(), n, workers, fn)
+	return err
+}
+
+// ForEachCtx is ForEach with trace-context propagation: when tracing is
+// enabled, each worker goroutine runs under a "par.worker" span parented
+// to the span active in ctx, so fan-out regions show their per-worker
+// utilization in the trace forest.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	_, err := ForEachStatsCtx(ctx, n, workers, fn)
 	return err
 }
 
 // ForEachStats is ForEach plus per-task timing: every task's duration is
 // recorded (index-addressed in the returned Stats and observed into the
-// "par.task" timer), errors are logged with their task index, and the
-// batch's worker utilization is published as the "par.utilization" gauge.
+// "par.task_seconds" histogram), errors are logged with their task index,
+// and the batch's worker utilization is published as the
+// "par.utilization" gauge.
 func ForEachStats(n, workers int, fn func(i int) error) (Stats, error) {
+	return ForEachStatsCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachStatsCtx is ForEachStats with trace-context propagation (see
+// ForEachCtx).
+func ForEachStatsCtx(ctx context.Context, n, workers int, fn func(i int) error) (Stats, error) {
 	stats := Stats{FirstErr: -1}
 	if n <= 0 {
 		return stats, nil
@@ -89,7 +106,7 @@ func ForEachStats(n, workers int, fn func(i int) error) (Stats, error) {
 		err := fn(i)
 		d := time.Since(t0)
 		stats.Durations[i] = d // per-index slot: no lock needed
-		metTask.ObserveDuration(d)
+		metTask.Observe(d.Seconds())
 		if err != nil {
 			metErrors.Inc()
 			obs.Logger().Warn("parallel task failed", "task", i, "err", err)
@@ -119,12 +136,18 @@ func ForEachStats(n, workers int, fn func(i int) error) (Stats, error) {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				_, wsp := obs.Start(ctx, "par.worker")
+				tasks := 0
 				for i := range next {
 					runTask(i)
+					tasks++
 				}
-			}()
+				wsp.SetAttr("worker", w)
+				wsp.SetAttr("tasks", tasks)
+				wsp.End()
+			}(w)
 		}
 		wg.Wait()
 	}

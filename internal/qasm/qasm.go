@@ -6,6 +6,7 @@
 package qasm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -147,6 +148,16 @@ var expanders = map[string]func(params []float64, qubits []int) ([]circuit.Gate,
 // i to clbit i); gate parameters accept numeric literals and simple
 // pi-expressions (pi, -pi, pi/2, 3*pi/4, ...).
 func Parse(src string) (*circuit.Circuit, error) {
+	return ParseCtx(context.Background(), src)
+}
+
+// ParseCtx is Parse with trace-context propagation: the "qasm.parse" span
+// parents under the span active in ctx.
+func ParseCtx(ctx context.Context, src string) (*circuit.Circuit, error) {
+	_, sp := obs.Start(ctx, "qasm.parse")
+	// Ending via defer keeps the span from leaking on parse errors
+	// (qbeep-lint spanend); attributes set below still precede it.
+	defer sp.End()
 	defer metParse.Start()()
 	name := "qasm"
 	n := 0
@@ -177,7 +188,14 @@ func Parse(src string) (*circuit.Circuit, error) {
 	if c == nil {
 		return nil, fmt.Errorf("qasm: no qreg declaration found")
 	}
-	return c.Finalize()
+	out, err := c.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	sp.SetAttr("circuit", out.Name)
+	sp.SetAttr("width", out.N)
+	sp.SetAttr("gates", len(out.Gates))
+	return out, nil
 }
 
 func parseStmt(stmt string, name *string, n *int, c **circuit.Circuit) error {

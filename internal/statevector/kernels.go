@@ -505,8 +505,9 @@ func (s *State) applyOp(o op) {
 		return
 	}
 	chunk := (space + w - 1) / w
-	// Kernel shards cannot fail; ForEach's error slot stays nil.
-	_ = par.ForEach(w, w, func(k int) error {
+	// Kernel shards cannot fail; ForEach's error slot stays nil. The
+	// state's run context (if any) parents the shard worker spans.
+	_ = par.ForEachCtx(s.ctx, w, w, func(k int) error {
 		lo := k * chunk
 		hi := lo + chunk
 		if hi > space {

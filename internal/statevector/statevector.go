@@ -11,6 +11,7 @@
 package statevector
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -41,6 +42,10 @@ type State struct {
 	n       int
 	amp     []complex128
 	workers int // kernel shard count; 0 = auto (GOMAXPROCS above threshold)
+	// ctx carries the active trace span while RunConfiguredCtx drives
+	// the state, so kernel shard fan-outs parent their worker spans
+	// under the "sim.run" span. Nil outside a traced run.
+	ctx context.Context
 }
 
 // New returns the all-zeros computational basis state |0...0⟩.
@@ -322,18 +327,31 @@ type RunConfig struct {
 // Run applies every gate of the circuit to a fresh |0...0⟩ state and
 // returns the final state.
 func Run(c *circuit.Circuit) (*State, error) {
-	return RunConfigured(c, 0, RunConfig{})
+	return RunConfiguredCtx(context.Background(), c, 0, RunConfig{})
+}
+
+// RunCtx is Run with trace-context propagation (see RunConfiguredCtx).
+func RunCtx(ctx context.Context, c *circuit.Circuit) (*State, error) {
+	return RunConfiguredCtx(ctx, c, 0, RunConfig{})
 }
 
 // RunFrom applies the circuit to the basis state |init⟩.
 func RunFrom(c *circuit.Circuit, init bitstring.BitString) (*State, error) {
-	return RunConfigured(c, init, RunConfig{})
+	return RunConfiguredCtx(context.Background(), c, init, RunConfig{})
 }
 
 // RunConfigured applies the circuit to |init⟩ with explicit engine
 // configuration. The whole gate list is compiled (and, unless NoFuse is
 // set, fused) before any amplitude is touched.
 func RunConfigured(c *circuit.Circuit, init bitstring.BitString, cfg RunConfig) (*State, error) {
+	return RunConfiguredCtx(context.Background(), c, init, cfg)
+}
+
+// RunConfiguredCtx is RunConfigured with trace-context propagation: the
+// "sim.run" span parents under the span active in ctx, and while the
+// run is live the amplitude shard fan-outs parent their "par.worker"
+// spans under it.
+func RunConfiguredCtx(ctx context.Context, c *circuit.Circuit, init bitstring.BitString, cfg RunConfig) (*State, error) {
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
@@ -346,11 +364,13 @@ func RunConfigured(c *circuit.Circuit, init bitstring.BitString, cfg RunConfig) 
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("sim.run")
+	runCtx, sp := obs.Start(ctx, "sim.run")
+	s.ctx = runCtx
 	t0 := time.Now() //qbeep:allow-time span/metric timing, not kernel state
 	for _, o := range ops {
 		s.applyOp(o)
 	}
+	s.ctx = nil
 	elapsed := time.Since(t0) //qbeep:allow-time span/metric timing, not kernel state
 	metRun.ObserveDuration(elapsed)
 	metRuns.Inc()
@@ -367,7 +387,12 @@ func RunConfigured(c *circuit.Circuit, init bitstring.BitString, cfg RunConfig) 
 // IdealDist returns the exact output distribution of the circuit (scaled to
 // probability 1): the paper's "true solution" reference.
 func IdealDist(c *circuit.Circuit) (*bitstring.Dist, error) {
-	s, err := Run(c)
+	return IdealDistCtx(context.Background(), c)
+}
+
+// IdealDistCtx is IdealDist with trace-context propagation.
+func IdealDistCtx(ctx context.Context, c *circuit.Circuit) (*bitstring.Dist, error) {
+	s, err := RunCtx(ctx, c)
 	if err != nil {
 		return nil, err
 	}

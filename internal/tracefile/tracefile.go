@@ -1,0 +1,184 @@
+// Package tracefile reads the NDJSON span streams written by
+// obs.NDJSONSink (cmd/qbeep -trace and friends) and reconstructs the
+// hierarchical trace forest for offline analysis: per-name aggregates,
+// critical paths, flame views and Chrome trace-event export. It is the
+// engine behind cmd/qbeep-trace and is importable so tests can assert on
+// analysis results without shelling out.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"qbeep/internal/obs"
+)
+
+// Span is one parsed span plus its resolved tree links. End is derived
+// (Start + Duration) since the NDJSON records completion events.
+type Span struct {
+	obs.SpanEvent
+	Children []*Span
+	Parent   *Span // nil for roots and orphans
+}
+
+// End returns the span's completion instant.
+func (s *Span) End() time.Time { return s.Start.Add(s.Duration) }
+
+// Attr returns the named attribute value and whether it was present.
+func (s *Span) Attr(key string) (any, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// SelfTime is the span's duration minus the total duration of its direct
+// children, floored at zero (children of concurrent fan-outs can sum past
+// the parent's wall time).
+func (s *Span) SelfTime() time.Duration {
+	self := s.Duration
+	for _, c := range s.Children {
+		self -= c.Duration
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// Trace is one reconstructed trace: every span sharing a TraceID.
+type Trace struct {
+	ID    uint64
+	Roots []*Span // parent 0 or unresolved parent, in span-ID order
+	Spans []*Span // every span of the trace, in span-ID order
+}
+
+// Duration is the trace's wall clock: latest end minus earliest start
+// across all spans.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	first, last := t.Spans[0].Start, t.Spans[0].End()
+	for _, s := range t.Spans[1:] {
+		if s.Start.Before(first) {
+			first = s.Start
+		}
+		if e := s.End(); e.After(last) {
+			last = e
+		}
+	}
+	return last.Sub(first)
+}
+
+// Root returns the trace's primary root: span ID 1 when present,
+// otherwise the first root.
+func (t *Trace) Root() *Span {
+	for _, r := range t.Roots {
+		if r.SpanID == 1 {
+			return r
+		}
+	}
+	if len(t.Roots) > 0 {
+		return t.Roots[0]
+	}
+	return nil
+}
+
+// Forest is every trace in a span stream.
+type Forest struct {
+	Traces []*Trace // ascending TraceID
+	Total  int      // spans parsed
+}
+
+// Parse reads an NDJSON span stream and reconstructs the trace forest.
+// Blank lines are skipped; a malformed line fails with its line number.
+// Spans whose parent ID never appears become additional roots of their
+// trace (a truncated stream still analyzes).
+func Parse(r io.Reader) (*Forest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	byTrace := map[uint64][]*Span{}
+	line := 0
+	total := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev obs.SpanEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("tracefile: line %d: %w", line, err)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("tracefile: line %d: span without a name", line)
+		}
+		byTrace[ev.TraceID] = append(byTrace[ev.TraceID], &Span{SpanEvent: ev})
+		total++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	f := &Forest{Total: total}
+	for id, spans := range byTrace {
+		f.Traces = append(f.Traces, buildTrace(id, spans))
+	}
+	sort.Slice(f.Traces, func(i, j int) bool { return f.Traces[i].ID < f.Traces[j].ID })
+	return f, nil
+}
+
+// buildTrace links one trace's spans into a tree. Sinks record spans at
+// End, so children usually precede their parent in the stream; sorting by
+// span ID restores allocation (start) order.
+func buildTrace(id uint64, spans []*Span) *Trace {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].SpanID < spans[j].SpanID })
+	byID := make(map[uint64]*Span, len(spans))
+	for _, s := range spans {
+		// Duplicate span IDs (merged streams) keep the first occurrence
+		// addressable; later ones still appear in Spans.
+		if _, ok := byID[s.SpanID]; !ok {
+			byID[s.SpanID] = s
+		}
+	}
+	t := &Trace{ID: id, Spans: spans}
+	for _, s := range spans {
+		if p, ok := byID[s.ParentID]; ok && s.ParentID != 0 && p != s {
+			s.Parent = p
+			p.Children = append(p.Children, s)
+			continue
+		}
+		t.Roots = append(t.Roots, s)
+	}
+	// Children sort by start time (ties by span ID) so flame views and
+	// critical paths walk them chronologically.
+	for _, s := range spans {
+		sort.Slice(s.Children, func(i, j int) bool {
+			a, b := s.Children[i], s.Children[j]
+			if !a.Start.Equal(b.Start) {
+				return a.Start.Before(b.Start)
+			}
+			return a.SpanID < b.SpanID
+		})
+	}
+	return t
+}
+
+// Slowest returns the trace with the largest wall-clock duration (ties
+// break toward the lower ID), or nil for an empty forest.
+func (f *Forest) Slowest() *Trace {
+	var best *Trace
+	var bestD time.Duration
+	for _, t := range f.Traces {
+		if d := t.Duration(); best == nil || d > bestD {
+			best, bestD = t, d
+		}
+	}
+	return best
+}

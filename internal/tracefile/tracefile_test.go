@@ -1,0 +1,234 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// loadFixture parses the hand-authored pipeline trace used across the
+// analyzer tests: trace 1 is a full qbeep.pipeline run (17 spans,
+// parallel workers, three mitigation iterations), trace 2 a trivial one.
+func loadFixture(t *testing.T) *Forest {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "pipeline.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	forest, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return forest
+}
+
+func TestParseForest(t *testing.T) {
+	forest := loadFixture(t)
+	if forest.Total != 18 {
+		t.Fatalf("parsed %d spans, want 18", forest.Total)
+	}
+	if len(forest.Traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(forest.Traces))
+	}
+	tr := forest.Traces[0]
+	if tr.ID != 1 || len(tr.Spans) != 17 {
+		t.Fatalf("trace 1: id=%d spans=%d", tr.ID, len(tr.Spans))
+	}
+	root := tr.Root()
+	if root == nil || root.Name != "qbeep.pipeline" || root.SpanID != 1 {
+		t.Fatalf("root = %+v", root)
+	}
+	// The root's direct children, in start order.
+	var names []string
+	for _, c := range root.Children {
+		names = append(names, c.Name)
+	}
+	want := []string{"qasm.parse", "transpile", "noise.execute", "core.mitigate"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("root children = %v, want %v", names, want)
+	}
+	if d := tr.Duration(); d != 100*time.Millisecond {
+		t.Fatalf("trace duration = %v", d)
+	}
+	// Parent links resolve through the numeric IDs.
+	for _, s := range tr.Spans {
+		if s.SpanID != 1 && s.Parent == nil {
+			t.Fatalf("span %d (%s) has no parent link", s.SpanID, s.Name)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	forest := loadFixture(t)
+	aggs := forest.Aggregates()
+	byName := map[string]Aggregate{}
+	for _, a := range aggs {
+		byName[a.Name] = a
+	}
+	// The two pipeline roots dominate and sort first.
+	if aggs[0].Name != "qbeep.pipeline" {
+		t.Fatalf("top aggregate = %s", aggs[0].Name)
+	}
+	pl := byName["qbeep.pipeline"]
+	if pl.Count != 2 || pl.Total != 110*time.Millisecond || pl.Max != 100*time.Millisecond {
+		t.Fatalf("qbeep.pipeline agg = %+v", pl)
+	}
+	// Pipeline self time: 100ms - (2+16+30+45)ms children + 10ms leaf root.
+	if want := (100 - 93 + 10) * time.Millisecond; pl.Self != want {
+		t.Fatalf("qbeep.pipeline self = %v, want %v", pl.Self, want)
+	}
+	w := byName["par.worker"]
+	if w.Count != 2 || w.Total != 21*time.Millisecond {
+		t.Fatalf("par.worker agg = %+v", w)
+	}
+	iter := byName["core.mitigate.iter"]
+	if iter.Count != 3 || iter.P50 != 7*time.Millisecond || iter.Max != 8*time.Millisecond {
+		t.Fatalf("core.mitigate.iter agg = %+v", iter)
+	}
+	// sim.run's workers overrun it in sum (11+10 > 12): self floors at 0.
+	if sr := byName["sim.run"]; sr.Self != 0 {
+		t.Fatalf("sim.run self = %v, want 0", sr.Self)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	forest := loadFixture(t)
+	slow := forest.Slowest()
+	if slow == nil || slow.ID != 1 {
+		t.Fatalf("slowest = %+v", slow)
+	}
+	path := CriticalPath(slow)
+	var names []string
+	for _, s := range path {
+		names = append(names, s.Name)
+	}
+	// The mitigation ends last under the root; its last-ending child is
+	// the third iteration.
+	want := "qbeep.pipeline,core.mitigate,core.mitigate.iter"
+	if strings.Join(names, ",") != want {
+		t.Fatalf("critical path = %v, want %s", names, want)
+	}
+	if it, ok := path[2].Attr("iteration"); !ok || it != float64(3) {
+		t.Fatalf("critical-path leaf iteration attr = %v", it)
+	}
+}
+
+// TestReportGolden pins the full text report for the fixture, so the
+// CLI's primary output shape is reviewed, not accidental.
+func TestReportGolden(t *testing.T) {
+	forest := loadFixture(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, forest); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "report.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestFlameView(t *testing.T) {
+	forest := loadFixture(t)
+	var buf bytes.Buffer
+	if err := WriteFlame(&buf, forest.Slowest()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"qbeep.pipeline", "  transpile", "    transpile.route", "      par.worker"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flame view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	forest := loadFixture(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, forest); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  uint64         `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 18 {
+		t.Fatalf("got %d events, want 18", len(doc.TraceEvents))
+	}
+	workers := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur < 0 || ev.Ts < 0 {
+			t.Fatalf("bad event %+v", ev)
+		}
+		if ev.Name == "par.worker" && ev.Pid == 1 {
+			workers[ev.Tid] = true
+		}
+		if ev.Name == "qbeep.pipeline" && ev.Pid == 1 {
+			if ev.Tid != 0 || ev.Dur != 100000 {
+				t.Fatalf("pipeline event %+v", ev)
+			}
+		}
+	}
+	// The two concurrent workers must land on distinct lanes.
+	if len(workers) != 2 {
+		t.Fatalf("worker lanes = %v, want 2 distinct", workers)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"trace":1,"span":1,"start":"2026-01-02T03:04:05Z","duration":5}` + "\n")); err == nil {
+		t.Fatal("nameless span accepted")
+	}
+	f, err := Parse(strings.NewReader("\n\n"))
+	if err != nil || f.Total != 0 || len(f.Traces) != 0 {
+		t.Fatalf("blank stream: %+v, %v", f, err)
+	}
+	if f.Slowest() != nil {
+		t.Fatal("Slowest on empty forest should be nil")
+	}
+}
+
+// TestOrphanBecomesRoot: a span whose parent never landed (truncated
+// stream) still analyzes as an extra root.
+func TestOrphanBecomesRoot(t *testing.T) {
+	const stream = `{"name":"lost.child","trace":7,"span":9,"parent":4,"start":"2026-01-02T03:04:05Z","duration":1000}` + "\n"
+	f, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Traces) != 1 || len(f.Traces[0].Roots) != 1 {
+		t.Fatalf("forest = %+v", f)
+	}
+	if r := f.Traces[0].Root(); r == nil || r.Name != "lost.child" {
+		t.Fatalf("root = %+v", r)
+	}
+}

@@ -1,6 +1,7 @@
 package transpile
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -216,41 +217,64 @@ type Result struct {
 	GatesAfter  int
 }
 
+// pass runs one transpiler stage under a child span of ctx, so the
+// trace forest shows where a slow lowering spent its time.
+func pass[T any](ctx context.Context, name string, fn func() (T, error)) (T, error) {
+	_, sp := obs.Start(ctx, name)
+	defer sp.End()
+	return fn()
+}
+
 // Transpile lowers, places, routes and optimizes c for backend b. A nil
 // layout selects GreedyLayout. Each pass reports its wall time to the
 // obs registry (transpile.decompose/layout/route/optimize/schedule) and
 // the whole lowering runs under a "transpile" span.
 func Transpile(c *circuit.Circuit, b *device.Backend, layout Layout) (*Result, error) {
-	sp := obs.StartSpan("transpile")
+	return TranspileCtx(context.Background(), c, b, layout)
+}
+
+// TranspileCtx is Transpile with trace-context propagation: the
+// "transpile" span parents under the span active in ctx, with one child
+// span per pass.
+func TranspileCtx(ctx context.Context, c *circuit.Circuit, b *device.Backend, layout Layout) (*Result, error) {
+	ctx, sp := obs.Start(ctx, "transpile")
 	// Ending via defer keeps the span from leaking on the per-pass error
 	// returns (qbeep-lint spanend); attributes set below still precede it.
 	defer sp.End()
 	stopAll := metTranspile.Start()
 	t0 := time.Now()
-	dec, err := Decompose(c)
+	dec, err := pass(ctx, "transpile.decompose", func() (*circuit.Circuit, error) {
+		return Decompose(c)
+	})
 	if err != nil {
 		return nil, err
 	}
 	metDecompose.ObserveDuration(sincePass(&t0))
 	if layout == nil {
-		layout, err = GreedyLayout(dec, b)
+		layout, err = pass(ctx, "transpile.layout", func() (Layout, error) {
+			return GreedyLayout(dec, b)
+		})
 		if err != nil {
 			return nil, err
 		}
 	}
 	metLayout.ObserveDuration(sincePass(&t0))
 	cxBefore := dec.CountKind(circuit.CX)
-	routed, final, err := Route(dec, b, layout)
+	routed, final, err := routePass(ctx, dec, b, layout)
 	if err != nil {
 		return nil, err
 	}
 	metRoute.ObserveDuration(sincePass(&t0))
-	opt, err := Optimize(routed)
+	opt, err := pass(ctx, "transpile.optimize", func() (*circuit.Circuit, error) {
+		return Optimize(routed)
+	})
 	if err != nil {
 		return nil, err
 	}
 	metOptimize.ObserveDuration(sincePass(&t0))
-	t, err := ScheduleTime(opt, b)
+	t, err := pass(ctx, "transpile.schedule", func() (float64, error) {
+		return ScheduleTime(opt, b)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +299,14 @@ func Transpile(c *circuit.Circuit, b *device.Backend, layout Layout) (*Result, e
 		"circuit", c.Name, "backend", b.Name, "gates_before", res.GatesBefore,
 		"gates_after", res.GatesAfter, "swaps", res.SwapsAdded, "schedule_s", t)
 	return res, nil
+}
+
+// routePass wraps Route in its child span (two results, so the generic
+// single-value pass helper doesn't fit).
+func routePass(ctx context.Context, c *circuit.Circuit, b *device.Backend, layout Layout) (*circuit.Circuit, Layout, error) {
+	_, sp := obs.Start(ctx, "transpile.route")
+	defer sp.End()
+	return Route(c, b, layout)
 }
 
 // sincePass reads the elapsed time since *t0 and resets it, chaining

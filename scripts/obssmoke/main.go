@@ -1,0 +1,90 @@
+// Command obssmoke is the CI observability smoke check: it stands up
+// the debug server on an ephemeral port, scrapes /healthz and /metrics
+// over real HTTP, and fails unless the exposition is Prometheus text
+// carrying at least one counter, gauge and histogram family. `make
+// obs-smoke` runs it after exercising qbeep-trace on the golden
+// fixture.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"qbeep/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obssmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obs-smoke: metrics scrape ok")
+}
+
+func run() error {
+	obs.Default.Counter("smoke.hits").Inc()
+	obs.Default.Gauge("smoke.level").Set(3.5)
+	obs.Default.Histogram("smoke.latency").Observe(0.012)
+
+	ds, err := obs.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := ds.Shutdown(5 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "obssmoke: shutdown:", err)
+		}
+	}()
+
+	health, err := get(ds.Addr(), "/healthz", "")
+	if err != nil {
+		return err
+	}
+	if health != "ok\n" {
+		return fmt.Errorf("/healthz body = %q, want ok", health)
+	}
+
+	metrics, err := get(ds.Addr(), "/metrics", obs.PromContentType)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"# TYPE qbeep_smoke_hits_total counter",
+		"# TYPE qbeep_smoke_level gauge",
+		"# TYPE qbeep_smoke_latency histogram",
+		`qbeep_smoke_latency_bucket{le="+Inf"} 1`,
+		"# TYPE qbeep_runtime_goroutines gauge",
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+	return nil
+}
+
+// get fetches path from the debug server and, when wantType is
+// non-empty, checks the Content-Type header.
+func get(addr, path, wantType string) (string, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	if wantType != "" {
+		if ct := resp.Header.Get("Content-Type"); ct != wantType {
+			return "", fmt.Errorf("GET %s: Content-Type = %q, want %q", path, ct, wantType)
+		}
+	}
+	return string(body), nil
+}
