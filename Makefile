@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke bench-core bench-sim fuzz-smoke obs-smoke ci
+.PHONY: all build vet lint test race bench-smoke bench-core bench-sim bench-gate bench-record fuzz-smoke obs-smoke ci
 
 # Extra worker counts the determinism tests sweep on top of their
 # built-in {1, 4, GOMAXPROCS} matrix. Comma-separated. The matrix
@@ -65,6 +65,22 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'BenchmarkDensityEvolve$$' -benchmem ./internal/densitymatrix
 	$(GO) test -run '^$$' -bench 'BenchmarkTrajectory$$' -benchmem ./internal/noise
 
+# bench-gate: the regression gate. cmd/qbeep-bench runs both suites at a
+# short benchtime and recomputes the derived ratio invariants
+# (fused/naive, engine/brute, zero-alloc hot loops) against the
+# BENCH_*.json baselines; a ratio collapsing past the threshold fails
+# the target. Ratios cancel machine speed, so the short benchtime and
+# shared runners stay inside the 25% default threshold. Trajectory
+# recording is disabled here — CI working trees should not dirty the
+# checked-in BENCH_trajectory.json.
+bench-gate:
+	$(GO) run ./cmd/qbeep-bench -suites core,sim -compare -trajectory '' -benchtime 100ms
+
+# bench-record: refresh BENCH_trajectory.json with one row per suite at
+# the current commit (idempotent: re-running replaces the rows).
+bench-record:
+	$(GO) run ./cmd/qbeep-bench -suites core,sim -commit "$$(git rev-parse --short HEAD)"
+
 # fuzz-smoke: a few seconds on each native fuzz target — enough to
 # re-check the seed corpus plus a short random walk on every commit.
 # Longer fuzzing sessions run the same targets with a bigger -fuzztime.
@@ -85,6 +101,9 @@ obs-smoke:
 	grep -q 'qbeep.pipeline' $$tmp/report.txt; \
 	$$tmp/qbeep-trace -chrome -o $$tmp/trace.json internal/tracefile/testdata/pipeline.ndjson; \
 	grep -q 'traceEvents' $$tmp/trace.json; \
+	$$tmp/qbeep-trace -hotspots internal/tracefile/testdata/resource.ndjson | tee $$tmp/hotspots.txt; \
+	grep -q 'hotspots by self-CPU' $$tmp/hotspots.txt; \
+	grep -q 'hotspots by self-allocations' $$tmp/hotspots.txt; \
 	$(GO) run ./scripts/obssmoke
 
-ci: vet lint test race bench-smoke obs-smoke
+ci: vet lint test race bench-smoke obs-smoke bench-gate

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"qbeep"
+	"qbeep/internal/buildinfo"
 	"qbeep/internal/device"
 	"qbeep/internal/obs"
 )
@@ -31,8 +32,13 @@ func run() error {
 		export   = flag.String("export", "", "backend name to export as JSON, or 'all'")
 		outDir   = flag.String("o", ".", "output directory for -export all")
 		logFlags = obs.AddLogFlags(nil)
+		version  = buildinfo.AddVersionFlag(nil)
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Summary("qbeep-backends"))
+		return nil
+	}
 	if err := logFlags.Apply(os.Stderr); err != nil {
 		return err
 	}

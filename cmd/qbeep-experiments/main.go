@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"qbeep/internal/buildinfo"
 	"qbeep/internal/experiments"
 	"qbeep/internal/obs"
 )
@@ -41,8 +42,13 @@ func run() error {
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof/, /debug/vars, /metrics and /healthz on this address (e.g. localhost:6060)")
 		traceFlags = obs.AddTraceFlags(nil)
 		logFlags   = obs.AddLogFlags(nil)
+		version    = buildinfo.AddVersionFlag(nil)
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Summary("qbeep-experiments"))
+		return nil
+	}
 	if err := logFlags.Apply(os.Stderr); err != nil {
 		return err
 	}

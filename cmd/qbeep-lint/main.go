@@ -29,6 +29,7 @@ import (
 	"qbeep/internal/analysis/nodeterm"
 	"qbeep/internal/analysis/nogo"
 	"qbeep/internal/analysis/spanend"
+	"qbeep/internal/buildinfo"
 )
 
 var suite = []*analysis.Analyzer{
@@ -42,8 +43,13 @@ func main() {
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	version := buildinfo.AddVersionFlag(nil)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Summary("qbeep-lint"))
+		return
+	}
 	if *list {
 		for _, a := range suite {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"qbeep"
+	"qbeep/internal/buildinfo"
 	"qbeep/internal/obs"
 	"qbeep/internal/results"
 )
@@ -38,8 +39,13 @@ func run() error {
 		outPath    = flag.String("o", "", "output path (default stdout)")
 		traceFlags = obs.AddTraceFlags(nil)
 		logFlags   = obs.AddLogFlags(nil)
+		version    = buildinfo.AddVersionFlag(nil)
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Summary("qbeep-sim"))
+		return nil
+	}
 	if err := logFlags.Apply(os.Stderr); err != nil {
 		return err
 	}

@@ -8,7 +8,9 @@
 //
 // With -flame it prints an indented flame view of the slowest trace; with
 // -chrome it instead emits Chrome trace-event JSON for chrome://tracing
-// or Perfetto.
+// or Perfetto. With -hotspots it ranks span names by self-CPU and by
+// self-allocations (resource-attributed recordings; wall-time-only
+// streams fall back to a self-time ranking).
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"qbeep/internal/buildinfo"
 	"qbeep/internal/tracefile"
 )
 
@@ -31,13 +34,20 @@ func main() {
 // error when everything else succeeded.
 func run() (err error) {
 	var (
-		chrome  = flag.Bool("chrome", false, "emit Chrome trace-event JSON instead of the report")
-		flame   = flag.Bool("flame", false, "also print a text flame view of the slowest trace")
-		outPath = flag.String("o", "", "output path (default stdout)")
+		chrome   = flag.Bool("chrome", false, "emit Chrome trace-event JSON instead of the report")
+		flame    = flag.Bool("flame", false, "also print a text flame view of the slowest trace")
+		hotspots = flag.Bool("hotspots", false, "rank span names by self-CPU and self-allocations instead of the report")
+		top      = flag.Int("top", 10, "rows per -hotspots table (<= 0 for all)")
+		outPath  = flag.String("o", "", "output path (default stdout)")
+		version  = buildinfo.AddVersionFlag(nil)
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Summary("qbeep-trace"))
+		return nil
+	}
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: qbeep-trace [-chrome|-flame] [-o out] trace.ndjson ('-' = stdin)")
+		return fmt.Errorf("usage: qbeep-trace [-chrome|-flame|-hotspots] [-o out] trace.ndjson ('-' = stdin)")
 	}
 	in := io.Reader(os.Stdin)
 	if path := flag.Arg(0); path != "-" {
@@ -67,6 +77,9 @@ func run() (err error) {
 	}
 	if *chrome {
 		return tracefile.WriteChrome(out, forest)
+	}
+	if *hotspots {
+		return tracefile.WriteHotspots(out, forest, *top)
 	}
 	if err := tracefile.WriteReport(out, forest); err != nil {
 		return err

@@ -31,6 +31,7 @@ import (
 
 	"qbeep"
 	"qbeep/internal/bitstring"
+	"qbeep/internal/buildinfo"
 	"qbeep/internal/core"
 	"qbeep/internal/obs"
 	"qbeep/internal/results"
@@ -67,8 +68,13 @@ func run() error {
 		outPath    = flag.String("o", "", "output path (default stdout)")
 		traceFlags = obs.AddTraceFlags(nil)
 		logFlags   = obs.AddLogFlags(nil)
+		version    = buildinfo.AddVersionFlag(nil)
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Summary("qbeep"))
+		return nil
+	}
 	if err := logFlags.Apply(os.Stderr); err != nil {
 		return err
 	}

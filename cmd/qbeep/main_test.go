@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"qbeep/internal/obs"
@@ -28,7 +29,9 @@ func TestPipelineTraceEndToEnd(t *testing.T) {
 	}
 	tracePath := filepath.Join(dir, "run.ndjson")
 
-	tf := obs.TraceFlags{Path: tracePath}
+	// Resources on, as `qbeep -trace` runs by default: the recorded spans
+	// must carry CPU/allocation deltas end to end.
+	tf := obs.TraceFlags{Path: tracePath, Resources: true}
 	stopTrace, err := tf.Start()
 	if err != nil {
 		t.Fatal(err)
@@ -92,6 +95,25 @@ func TestPipelineTraceEndToEnd(t *testing.T) {
 	path := tracefile.CriticalPath(forest.Slowest())
 	if len(path) == 0 || path[0].Name != "qbeep.pipeline" {
 		t.Fatalf("critical path does not start at the pipeline root: %v", path)
+	}
+
+	// Resource attribution rode along: the stream reports resources, the
+	// root accumulated allocation deltas (graph build + iterations all
+	// allocate), and the hotspots report renders its resource rankings.
+	if !forest.HasResources() {
+		t.Fatal("capture-enabled trace carries no resource data")
+	}
+	if root.AllocBytes == 0 || root.AllocObjects == 0 {
+		t.Fatalf("pipeline root has empty alloc deltas: %+v", root.SpanEvent)
+	}
+	var hot strings.Builder
+	if err := tracefile.WriteHotspots(&hot, forest, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hotspots by self-CPU", "hotspots by self-allocations", "core.mitigate"} {
+		if !strings.Contains(hot.String(), want) {
+			t.Fatalf("hotspots report missing %q:\n%s", want, hot.String())
+		}
 	}
 }
 

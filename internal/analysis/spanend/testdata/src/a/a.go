@@ -144,3 +144,47 @@ func ctxEscapes(ctx context.Context) obs.Span {
 	_, sp := obs.Start(ctx, "ctx-escape")
 	return sp
 }
+
+// --- resource-capture era idioms: per-iteration child spans, worker
+// attribute stamping, branch-dependent endings ---
+
+// The mitigation loop's shape: each round opens a child span inside a
+// closure whose body is a straight start → attrs → End line. The
+// closure is its own scope, so the outer loop does not confuse the
+// checker.
+func okIterClosure(ctx context.Context, n int) {
+	iterate := func(i int) {
+		_, isp := obs.Start(ctx, "iter")
+		isp.SetAttr("iteration", i)
+		isp.End()
+	}
+	for i := 0; i < n; i++ {
+		iterate(i)
+	}
+}
+
+// The par worker's shape: busy/idle accounting stamped between the last
+// task and End.
+func okWorkerStamping(ctx context.Context, busy int64) {
+	_, wsp := obs.Start(ctx, "worker")
+	wsp.SetAttr("busy_ns", busy)
+	wsp.SetAttr("idle_ns", int64(0))
+	wsp.End()
+}
+
+// Ending only inside one branch leaves the fall-through return leaking.
+func leakBranchOnly(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "branch")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	return nil // want `return without ending span`
+}
+
+// A span whose End is captured as a method value escapes — lifetime is
+// whoever calls the finisher, deliberately not flagged.
+func okMethodValueEscape(ctx context.Context, schedule func(func())) {
+	_, sp := obs.Start(ctx, "handoff")
+	schedule(sp.End)
+}

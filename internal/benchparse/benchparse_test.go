@@ -1,0 +1,244 @@
+package benchparse
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseFixture(t *testing.T, name string) (*Output, error) {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func TestParseBenchmem(t *testing.T) {
+	out, err := parseFixture(t, "bench_benchmem.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(out.Results))
+	}
+	if out.Go != "linux/amd64" || !strings.Contains(out.CPU, "Xeon") {
+		t.Fatalf("metadata = %q / %q", out.Go, out.CPU)
+	}
+	run, ok := out.Find("BenchmarkRun")
+	if !ok {
+		t.Fatal("BenchmarkRun missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if run.Iterations != 902 || run.NsOp != 1180190 || run.BOp != 361829 || run.AllocsOp != 107 {
+		t.Fatalf("BenchmarkRun = %+v", run)
+	}
+	// A genuine zero-allocation result parses as 0, not as "not measured".
+	probs, _ := out.Find("BenchmarkProbabilitiesInto")
+	if probs.BOp != 0 || probs.AllocsOp != 0 {
+		t.Fatalf("BenchmarkProbabilitiesInto = %+v", probs)
+	}
+}
+
+func TestParseNoBenchmem(t *testing.T) {
+	out, err := parseFixture(t, "bench_nobenchmem.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(out.Results))
+	}
+	// Sub-benchmark paths survive; only the -P suffix is stripped.
+	sub, ok := out.Find("BenchmarkBuildStateGraph/V4096/lambda1")
+	if !ok {
+		t.Fatalf("sub-benchmark name mangled; got %+v", out.Results)
+	}
+	if sub.NsOp != 7892534 {
+		t.Fatalf("sub-benchmark ns/op = %v", sub.NsOp)
+	}
+	// Without -benchmem the memory columns are "not measured", not zero.
+	if sub.BOp != -1 || sub.AllocsOp != -1 {
+		t.Fatalf("missing -benchmem should read -1/-1, got %d/%d", sub.BOp, sub.AllocsOp)
+	}
+}
+
+func TestParseFailedBuild(t *testing.T) {
+	_, err := parseFixture(t, "bench_failedbuild.txt")
+	if err == nil || !strings.Contains(err.Error(), "build failed") {
+		t.Fatalf("failed-build transcript accepted: %v", err)
+	}
+}
+
+func TestParseFailVerdict(t *testing.T) {
+	const transcript = "BenchmarkX-4 \t 10 \t 100 ns/op\n--- FAIL: TestBroken\nFAIL\n"
+	if _, err := Parse(strings.NewReader(transcript)); err == nil {
+		t.Fatal("FAIL verdict accepted")
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkRun-4":                      "BenchmarkRun",
+		"BenchmarkRun-128":                    "BenchmarkRun",
+		"BenchmarkBuild/V512/lambda1-4":       "BenchmarkBuild/V512/lambda1",
+		"BenchmarkForEachTinyTasks/workers1":  "BenchmarkForEachTinyTasks/workers1",
+		"BenchmarkOdd-name":                   "BenchmarkOdd-name",
+		"BenchmarkForEachTinyTasks/workers-4": "BenchmarkForEachTinyTasks/workers",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatios(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkRun", NsOp: 1000},
+		{Name: "BenchmarkNaiveRun", NsOp: 3650},
+		{Name: "BenchmarkProbabilitiesInto", NsOp: 10, AllocsOp: 0},
+		{Name: "BenchmarkStateGraphStep/V4096/lambda1", NsOp: 5, AllocsOp: -1},
+	}
+	r := Ratios(results)
+	if math.Abs(r["fused_speedup_vs_naive"]-3.65) > 1e-9 {
+		t.Fatalf("fused ratio = %v", r["fused_speedup_vs_naive"])
+	}
+	if v, ok := r["probabilities_into_allocs_per_op"]; !ok || v != 0 {
+		t.Fatalf("alloc invariant = %v (present=%v)", v, ok)
+	}
+	// Step ran without -benchmem: its alloc invariant must not report 0.
+	if _, ok := r["step_allocs_per_op"]; ok {
+		t.Fatal("unmeasured alloc invariant reported")
+	}
+	// Brute benchmarks absent: no build ratio.
+	if _, ok := r["build_speedup_vs_brute_V4096_lambda1"]; ok {
+		t.Fatal("ratio reported with missing benchmarks")
+	}
+}
+
+func TestCompareFlagsSyntheticRegression(t *testing.T) {
+	base := &Baseline{Derived: map[string]float64{
+		"fused_speedup_vs_naive":           3.65,
+		"probabilities_into_allocs_per_op": 0,
+	}}
+	healthy := []Result{
+		{Name: "BenchmarkRun", NsOp: 1000},
+		{Name: "BenchmarkNaiveRun", NsOp: 3500},
+		{Name: "BenchmarkProbabilitiesInto", NsOp: 10, AllocsOp: 0},
+	}
+	for _, f := range Compare(base, healthy, 0.25) {
+		if f.Regression {
+			t.Fatalf("healthy run flagged: %+v", f)
+		}
+	}
+	// Injected regression: fusion win collapses to 1.2×.
+	regressed := []Result{
+		{Name: "BenchmarkRun", NsOp: 3000},
+		{Name: "BenchmarkNaiveRun", NsOp: 3600},
+		{Name: "BenchmarkProbabilitiesInto", NsOp: 10, AllocsOp: 0},
+	}
+	findings := Compare(base, regressed, 0.25)
+	hit := false
+	for _, f := range findings {
+		if f.Key == "fused_speedup_vs_naive" {
+			hit = f.Regression
+		}
+	}
+	if !hit {
+		t.Fatalf("collapsed fusion ratio not flagged: %+v", findings)
+	}
+	// An allocation creeping into a pinned-zero hot loop always gates.
+	leaky := []Result{{Name: "BenchmarkProbabilitiesInto", NsOp: 10, AllocsOp: 2}}
+	findings = Compare(base, leaky, 0.25)
+	if len(findings) != 1 || !findings[0].Regression {
+		t.Fatalf("alloc leak not flagged: %+v", findings)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	base := &Baseline{Derived: map[string]float64{"fused_speedup_vs_naive": 4.0}}
+	results := []Result{
+		{Name: "BenchmarkRun", NsOp: 1000},
+		{Name: "BenchmarkNaiveRun", NsOp: 3200}, // ratio 3.2 = baseline − 20%
+	}
+	if f := Compare(base, results, 0.25); f[0].Regression {
+		t.Fatalf("within-threshold drop flagged: %+v", f)
+	}
+	if f := Compare(base, results, 0.10); !f[0].Regression {
+		t.Fatalf("past-threshold drop not flagged: %+v", f)
+	}
+}
+
+func TestBaselinesParseAndRecompute(t *testing.T) {
+	// The checked-in baselines must parse under the unified schema, and
+	// their derived ratios must match what Ratios recomputes from their
+	// own entries — the files cannot drift from the definitions.
+	for _, path := range []string{"../../BENCH_core.json", "../../BENCH_sim.json"} {
+		base, err := LoadBaseline(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(base.Benchmarks) == 0 || len(base.Derived) == 0 {
+			t.Fatalf("%s: empty baseline", path)
+		}
+		results := make([]Result, 0, len(base.Benchmarks))
+		for _, e := range base.Benchmarks {
+			results = append(results, Result{Name: e.Name, NsOp: e.NsOp, BOp: e.BOp, AllocsOp: e.AllocsOp})
+		}
+		recomputed := Ratios(results)
+		for key, want := range base.Derived {
+			got, ok := recomputed[key]
+			if !ok {
+				t.Errorf("%s: derived %q not recomputable from its own entries", path, key)
+				continue
+			}
+			if math.Abs(got-want) > 0.01+1e-9 {
+				t.Errorf("%s: derived %q = %v, recomputed %v", path, key, want, got)
+			}
+		}
+	}
+}
+
+func TestTrajectoryAppendIdempotentAndOrdered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+	tr, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rows) != 0 {
+		t.Fatalf("missing file should load empty, got %d rows", len(tr.Rows))
+	}
+	row := func(commit, date, suite string, ns float64) Row {
+		return Row{Commit: commit, Date: date, Suite: suite,
+			Benchmarks: []Entry{{Name: "BenchmarkRun", NsOp: ns}}}
+	}
+	// Out-of-order appends...
+	tr.Append(row("bbb", "2026-08-07", "sim", 1200))
+	tr.Append(row("aaa", "2026-08-05", "sim", 1180))
+	tr.Append(row("aaa", "2026-08-05", "core", 540))
+	// ...and a re-run at an existing (commit, suite) replaces, not duplicates.
+	tr.Append(row("bbb", "2026-08-07", "sim", 1190))
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(back.Rows), back.Rows)
+	}
+	wantOrder := []string{"core/aaa", "sim/aaa", "sim/bbb"}
+	for i, w := range wantOrder {
+		got := back.Rows[i].Suite + "/" + back.Rows[i].Commit
+		if got != w {
+			t.Fatalf("row %d = %s, want %s (rows %+v)", i, got, w, back.Rows)
+		}
+	}
+	if back.Rows[2].Benchmarks[0].NsOp != 1190 {
+		t.Fatalf("re-append did not replace: %+v", back.Rows[2])
+	}
+}

@@ -1,0 +1,88 @@
+// Package buildinfo reports what binary is running: the Go toolchain
+// version and the VCS revision stamped by `go build` via
+// runtime/debug.ReadBuildInfo. Every CLI exposes it behind the shared
+// -version flag and the debug server publishes it as the
+// qbeep_build_info gauge, so a deployed binary (or a benchmark row) can
+// always be tied back to a commit.
+package buildinfo
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// GoVersion is the toolchain that built the binary (e.g. "go1.24.0").
+	GoVersion string
+	// Revision is the VCS commit hash, "" when the build had no VCS
+	// stamp (go test binaries, `go run` from a non-checkout).
+	Revision string
+	// Modified reports a dirty working tree at build time.
+	Modified bool
+	// Time is the VCS commit time (RFC 3339), "" when unstamped.
+	Time string
+}
+
+// Read extracts the build identity from the embedded build info. It
+// degrades gracefully: an unstamped binary still reports its Go version.
+func Read() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		case "vcs.time":
+			info.Time = s.Value
+		}
+	}
+	return info
+}
+
+// ShortRevision returns the abbreviated commit hash, or "unknown" for an
+// unstamped build.
+func (i Info) ShortRevision() string {
+	if i.Revision == "" {
+		return "unknown"
+	}
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Modified {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// AddVersionFlag registers the shared -version flag on fs (the default
+// flag set when fs is nil) and returns its destination. After parsing,
+// a CLI that sees true prints Summary and exits zero.
+func AddVersionFlag(fs *flag.FlagSet) *bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	v := fs.Bool("version", false, "print build information (commit, toolchain) and exit")
+	return v
+}
+
+// Summary renders the one-line -version output for the named command.
+func Summary(cmd string) string {
+	i := Read()
+	s := fmt.Sprintf("%s version %s (%s", cmd, i.ShortRevision(), i.GoVersion)
+	if i.Time != "" {
+		s += ", committed " + i.Time
+	}
+	return s + ")"
+}

@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadAlwaysHasGoVersion(t *testing.T) {
+	i := Read()
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Fatalf("GoVersion = %q, want go-prefixed toolchain string", i.GoVersion)
+	}
+}
+
+func TestShortRevision(t *testing.T) {
+	cases := []struct {
+		in   Info
+		want string
+	}{
+		{Info{}, "unknown"},
+		{Info{Revision: "abc123"}, "abc123"},
+		{Info{Revision: "0123456789abcdef0123"}, "0123456789ab"},
+		{Info{Revision: "0123456789abcdef0123", Modified: true}, "0123456789ab-dirty"},
+	}
+	for _, c := range cases {
+		if got := c.in.ShortRevision(); got != c.want {
+			t.Fatalf("ShortRevision(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSummaryMentionsCommandAndToolchain(t *testing.T) {
+	s := Summary("qbeep-test")
+	if !strings.HasPrefix(s, "qbeep-test version ") || !strings.Contains(s, "go") {
+		t.Fatalf("Summary = %q", s)
+	}
+}

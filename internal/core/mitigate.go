@@ -128,6 +128,9 @@ func mitigate(ctx context.Context, counts *bitstring.Dist, lambda float64, opts 
 	// Ending via defer keeps the span from leaking on the graph-build
 	// error return (qbeep-lint spanend); attributes below still precede it.
 	defer sp.End()
+	// Convergence observations carry the trace ID so the worst sample on
+	// /metrics (_window_worst) names the trace to inspect in qbeep-trace.
+	traceID := obs.TraceIDFrom(ctx)
 	stop := metMitigate.Start()
 	g, err := BuildStateGraphCtx(ctx, counts, w, opts.Epsilon, opts.BuildWorkers)
 	if err != nil {
@@ -154,7 +157,7 @@ func mitigate(ctx context.Context, counts *bitstring.Dist, lambda float64, opts 
 		isp.SetAttr("eta", eta)
 		isp.SetAttr("flow_moved", last.FlowMoved)
 		isp.SetAttr("l1_delta", last.L1Delta)
-		metIterFlow.Observe(last.FlowMoved)
+		metIterFlow.ObserveTrace(last.FlowMoved, traceID)
 		if opts.OnIteration != nil {
 			opts.OnIteration(IterationStats{
 				Iteration: i,
@@ -174,7 +177,7 @@ func mitigate(ctx context.Context, counts *bitstring.Dist, lambda float64, opts 
 			f := g.Fidelity(ideal)
 			trace = append(trace, f)
 			h := hellingerFromFidelity(f)
-			metHellinger.Observe(h)
+			metHellinger.ObserveTrace(h, traceID)
 			isp.SetAttr("hellinger", h)
 		}
 		isp.End()
@@ -186,8 +189,8 @@ func mitigate(ctx context.Context, counts *bitstring.Dist, lambda float64, opts 
 	stop()
 	metMitigateRuns.Inc()
 	metMitigateIters.Add(int64(opts.Iterations))
-	metFlowMoved.Observe(last.FlowMoved)
-	metFinalL1.Observe(last.L1Delta)
+	metFlowMoved.ObserveTrace(last.FlowMoved, traceID)
+	metFinalL1.ObserveTrace(last.L1Delta, traceID)
 	sp.SetAttr("iterations", opts.Iterations)
 	sp.SetAttr("vertices", g.NumVertices())
 	obs.Logger().Debug("mitigation finished",

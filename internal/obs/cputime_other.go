@@ -1,0 +1,9 @@
+//go:build !linux
+
+package obs
+
+// threadCPUNanos is unavailable off Linux; spans record no CPU delta.
+func threadCPUNanos() int64 { return 0 }
+
+// processCPUSeconds is unavailable off Linux.
+func processCPUSeconds() float64 { return 0 }

@@ -40,6 +40,10 @@ func ServeDebug(addr string) (*DebugServer, error) {
 		// in between.
 		SampleRuntime(Default)
 		w.Header().Set("Content-Type", PromContentType)
+		if err := WriteBuildInfo(w); err != nil {
+			Logger().Warn("metrics exposition failed", "err", err)
+			return
+		}
 		if err := WritePrometheus(w, Default); err != nil {
 			Logger().Warn("metrics exposition failed", "err", err)
 		}

@@ -39,14 +39,18 @@ func (f *LogFlags) Apply(w io.Writer) error {
 	return nil
 }
 
-// TraceFlags holds the value of the shared -trace flag.
+// TraceFlags holds the values of the shared -trace flags. Resources
+// additionally captures per-span CPU and allocation deltas (see
+// resource.go for attribution caveats); AddTraceFlags defaults it on,
+// while the zero value keeps pre-existing wall-time-only behavior.
 type TraceFlags struct {
-	Path string
+	Path      string
+	Resources bool
 }
 
-// AddTraceFlags registers the shared -trace flag on fs (the default
-// flag set when fs is nil) and returns the destination struct. Call
-// Start after flag parsing.
+// AddTraceFlags registers the shared -trace and -trace-resources flags
+// on fs (the default flag set when fs is nil) and returns the
+// destination struct. Call Start after flag parsing.
 func AddTraceFlags(fs *flag.FlagSet) *TraceFlags {
 	if fs == nil {
 		fs = flag.CommandLine
@@ -54,14 +58,17 @@ func AddTraceFlags(fs *flag.FlagSet) *TraceFlags {
 	f := &TraceFlags{}
 	fs.StringVar(&f.Path, "trace", "",
 		"write spans as NDJSON to this file ('-' = stderr); analyze with qbeep-trace")
+	fs.BoolVar(&f.Resources, "trace-resources", true,
+		"attach per-span CPU and allocation deltas to -trace spans (see qbeep-trace -hotspots)")
 	return f
 }
 
 // Start opens the trace destination and installs an NDJSON span sink
-// (overriding any sink a debug log level installed). The returned stop
-// function uninstalls the sink, flushes, and reports the first write
-// error; it must run before the process exits for the trace to be
-// complete. With an empty path both Start and stop are no-ops.
+// (overriding any sink a debug log level installed), enabling span
+// resource capture when Resources is set. The returned stop function
+// uninstalls the sink (and resource capture), flushes, and reports the
+// first write error; it must run before the process exits for the trace
+// to be complete. With an empty path both Start and stop are no-ops.
 func (f *TraceFlags) Start() (stop func() error, err error) {
 	if f.Path == "" {
 		return func() error { return nil }, nil
@@ -76,9 +83,13 @@ func (f *TraceFlags) Start() (stop func() error, err error) {
 		w = file
 	}
 	sink := NewNDJSONSink(w)
+	if f.Resources {
+		SetResourceCapture(true)
+	}
 	SetSpanSink(sink)
 	return func() error {
 		SetSpanSink(nil)
+		SetResourceCapture(false)
 		err := sink.Flush()
 		if file != nil {
 			if cerr := file.Close(); err == nil {

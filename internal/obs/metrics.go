@@ -64,24 +64,33 @@ var histBuckets = [...]float64{
 // Observe takes one short mutex hold; hot loops should accumulate
 // locally and observe once per batch.
 type Histogram struct {
-	mu       sync.Mutex
-	count    int64
-	sum      float64
-	min, max float64
-	buckets  [len(histBuckets) + 1]int64 // per-bucket (non-cumulative); last is +Inf
-	window   [histWindow]float64
-	wlen     int // filled prefix of window
-	wpos     int // next overwrite position
+	mu         sync.Mutex
+	count      int64
+	sum        float64
+	min, max   float64
+	worstTrace uint64                      // trace ID of the max observation (0 = untraced)
+	buckets    [len(histBuckets) + 1]int64 // per-bucket (non-cumulative); last is +Inf
+	window     [histWindow]float64
+	wlen       int // filled prefix of window
+	wpos       int // next overwrite position
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveTrace(v, 0) }
+
+// ObserveTrace records one sample stamped with the trace it was observed
+// under (obs.TraceIDFrom; 0 means untraced). When the sample becomes the
+// histogram's worst observation, the trace ID rides along and is exposed
+// on /metrics as the <name>_window_worst series — the trace↔metrics link
+// that turns "p99 spiked" into "open this trace in qbeep-trace".
+func (h *Histogram) ObserveTrace(v float64, trace uint64) {
 	h.mu.Lock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
 	if h.count == 0 || v > h.max {
 		h.max = v
+		h.worstTrace = trace
 	}
 	h.count++
 	h.sum += v
@@ -133,6 +142,15 @@ func (h *Histogram) Sum() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.sum
+}
+
+// WorstTrace returns the trace ID stamped on the histogram's worst
+// (maximum) observation and that observation's value. A zero trace ID
+// means the worst sample was recorded outside any trace.
+func (h *Histogram) WorstTrace() (trace uint64, value float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.worstTrace, h.max
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) over the recent window
@@ -194,6 +212,12 @@ type Timer struct {
 
 // ObserveDuration records one duration.
 func (t *Timer) ObserveDuration(d time.Duration) { t.Observe(d.Seconds()) }
+
+// ObserveDurationTrace records one duration stamped with its trace ID
+// (see Histogram.ObserveTrace).
+func (t *Timer) ObserveDurationTrace(d time.Duration, trace uint64) {
+	t.ObserveTrace(d.Seconds(), trace)
+}
 
 // Start returns a stop function that records the elapsed time when
 // called: defer timer.Start()().

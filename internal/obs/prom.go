@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"qbeep/internal/buildinfo"
 )
 
 // Prometheus text exposition (format version 0.0.4) over a Registry.
@@ -85,7 +87,34 @@ func writeHistogramFamily(w io.Writer, name string, h *Histogram) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s_window_sum %s\n%s_window_count %d\n", name, promFloat(sum), name, count)
+	if _, err := fmt.Fprintf(w, "%s_window_sum %s\n%s_window_count %d\n", name, promFloat(sum), name, count); err != nil {
+		return err
+	}
+	// Trace↔metrics linkage: the worst observation carries the trace that
+	// produced it (Histogram.ObserveTrace), so a latency spike on a
+	// dashboard names the exact trace to pull up in qbeep-trace. Untraced
+	// worst observations (trace 0) render nothing, keeping streams from
+	// trace-free processes byte-identical to the pre-linkage exposition.
+	if trace, worst := h.WorstTrace(); trace != 0 {
+		if _, err := fmt.Fprintf(w, "%s_window_worst{trace=\"%d\"} %s\n", name, trace, promFloat(worst)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBuildInfo renders the qbeep_build_info gauge: constant 1 with the
+// binary's identity as labels, the Prometheus idiom for exposing build
+// metadata. Served ahead of the registry families on /metrics.
+func WriteBuildInfo(w io.Writer) error {
+	i := buildinfo.Read()
+	revision := i.Revision
+	if revision == "" {
+		revision = "unknown"
+	}
+	_, err := fmt.Fprintf(w,
+		"# TYPE qbeep_build_info gauge\nqbeep_build_info{go_version=%q,revision=%q,modified=%q} 1\n",
+		i.GoVersion, revision, strconv.FormatBool(i.Modified))
 	return err
 }
 

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync/atomic"
+)
+
+// Resource-attributed spans: with capture enabled (SetResourceCapture,
+// normally via the -trace flag) every span additionally samples, at its
+// Start and End boundaries, the calling goroutine's OS-thread CPU clock
+// and the process-wide cumulative heap-allocation counters from
+// runtime/metrics. The deltas ride on the SpanEvent as optional fields
+// (cpu, alloc_bytes, alloc_objects), so the NDJSON schema only grows and
+// pre-existing traces still parse.
+//
+// Attribution caveats (see DESIGN.md §12):
+//
+//   - CPU time is the thread clock (RUSAGE_THREAD on Linux). Goroutines
+//     usually stay on one thread for the life of a short span, but the
+//     scheduler may migrate them; a migrated span under-counts its own
+//     work and may count a stranger's. Deltas are clamped at zero.
+//     Children running on par workers burn *their own* thread clocks, so
+//     a fan-out parent's CPU reflects only its coordinating goroutine —
+//     sum the par.worker spans for the pool's cost.
+//   - Allocation counters are process-wide: a span's delta includes
+//     whatever every concurrent goroutine allocated while it was open.
+//     In sequential pipeline sections the delta is exact; under fan-out
+//     the parent's delta double-counts its children's.
+//
+// While capture (or tracing itself) is disabled, Start never reaches the
+// sampling code, so the disabled hot path stays zero-alloc.
+
+// resourceCapture gates boundary sampling; off by default.
+var resourceCapture atomic.Bool
+
+// SetResourceCapture enables or disables per-span resource deltas. It
+// only takes effect for spans started while a sink is installed.
+func SetResourceCapture(on bool) { resourceCapture.Store(on) }
+
+// ResourceCaptureEnabled reports whether span resource capture is on.
+func ResourceCaptureEnabled() bool { return resourceCapture.Load() }
+
+// Cumulative heap-allocation counters (monotonic since process start).
+const (
+	metricAllocBytes   = "/gc/heap/allocs:bytes"
+	metricAllocObjects = "/gc/heap/allocs:objects"
+)
+
+// resourceSample is one point-in-time reading of the span-attributed
+// resource counters.
+type resourceSample struct {
+	cpuNanos     int64
+	allocBytes   uint64
+	allocObjects uint64
+}
+
+// readResources samples the thread CPU clock and the cumulative heap
+// allocation counters.
+func readResources() resourceSample {
+	var s [2]metrics.Sample
+	s[0].Name = metricAllocBytes
+	s[1].Name = metricAllocObjects
+	metrics.Read(s[:])
+	out := resourceSample{cpuNanos: threadCPUNanos()}
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		out.allocBytes = s[0].Value.Uint64()
+	}
+	if s[1].Value.Kind() == metrics.KindUint64 {
+		out.allocObjects = s[1].Value.Uint64()
+	}
+	return out
+}

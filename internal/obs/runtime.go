@@ -17,6 +17,11 @@ var runtimeSamples = []struct {
 	{"/sched/goroutines:goroutines", "runtime.goroutines"},
 	{"/sched/gomaxprocs:threads", "runtime.gomaxprocs"},
 	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles"},
+	// The cumulative allocation counters double as the span resource
+	// clock (resource.go); exposing them lets a scrape cross-check span
+	// alloc deltas against the process-wide rate.
+	{metricAllocBytes, "runtime.heap_allocs_bytes"},
+	{metricAllocObjects, "runtime.heap_allocs_objects"},
 }
 
 // gcPauses is sampled separately: it is a runtime histogram, summarized
@@ -49,6 +54,11 @@ func SampleRuntime(r *Registry) {
 		mean, max := summarizeRuntimeHist(pauses.Value.Float64Histogram())
 		r.Gauge("runtime.gc_pause_mean_seconds").Set(mean)
 		r.Gauge("runtime.gc_pause_max_seconds").Set(max)
+	}
+	// Whole-process CPU clock (rusage; 0 where unavailable) so scrapes
+	// can attribute wall time to compute vs waiting without a profiler.
+	if cpu := processCPUSeconds(); cpu > 0 {
+		r.Gauge("runtime.process_cpu_seconds").Set(cpu)
 	}
 }
 

@@ -25,14 +25,23 @@ type Attr struct {
 // per trace — the root is span 1 and sequential code numbers its spans
 // in start order — so single-threaded traces are fully deterministic
 // and golden tests over them stay stable.
+//
+// CPU, AllocBytes and AllocObjects are the span's resource deltas,
+// present only when capture was on (SetResourceCapture) while the span
+// ran — optional wire fields, so traces recorded before resource
+// capture existed still parse. See resource.go for what the deltas do
+// and do not attribute under concurrent fan-out.
 type SpanEvent struct {
-	Name     string        `json:"name"`
-	TraceID  uint64        `json:"trace"`
-	SpanID   uint64        `json:"span"`
-	ParentID uint64        `json:"parent,omitempty"`
-	Start    time.Time     `json:"start"`
-	Duration time.Duration `json:"duration"`
-	Attrs    []Attr        `json:"attrs,omitempty"`
+	Name         string        `json:"name"`
+	TraceID      uint64        `json:"trace"`
+	SpanID       uint64        `json:"span"`
+	ParentID     uint64        `json:"parent,omitempty"`
+	Start        time.Time     `json:"start"`
+	Duration     time.Duration `json:"duration"`
+	CPU          time.Duration `json:"cpu,omitempty"`
+	AllocBytes   uint64        `json:"alloc_bytes,omitempty"`
+	AllocObjects uint64        `json:"alloc_objects,omitempty"`
+	Attrs        []Attr        `json:"attrs,omitempty"`
 }
 
 // SpanSink receives completed spans. Implementations must be safe for
@@ -104,6 +113,8 @@ type Span struct {
 	spanID   uint64
 	parentID uint64
 	attrs    []Attr
+	res      resourceSample
+	hasRes   bool
 }
 
 // Start begins a span as a child of the span recorded in ctx (a new
@@ -135,7 +146,24 @@ func Start(ctx context.Context, name string) (context.Context, Span) {
 		spanID:   id,
 		parentID: parent,
 	}
+	if resourceCapture.Load() {
+		sp.hasRes = true
+		sp.res = readResources()
+	}
 	return context.WithValue(ctx, ctxKey{}, spanRef{trace: ts, spanID: id}), sp
+}
+
+// TraceIDFrom returns the trace ID of the span active in ctx, or 0 when
+// ctx carries none — the hook metric call sites use to stamp histogram
+// observations with the trace that produced them (Histogram.ObserveTrace).
+func TraceIDFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	if ref, ok := ctx.Value(ctxKey{}).(spanRef); ok && ref.trace != nil {
+		return ref.trace.id
+	}
+	return 0
 }
 
 // StartSpan begins a root span with no context — each call opens its
@@ -165,6 +193,20 @@ func (s *Span) End() {
 		Start:    s.start,
 		Duration: time.Since(s.start),
 		Attrs:    s.attrs,
+	}
+	if s.hasRes {
+		// Deltas clamp at zero: thread migration can rewind the CPU clock
+		// and the alloc counters are monotonic but sampled racily.
+		now := readResources()
+		if d := now.cpuNanos - s.res.cpuNanos; d > 0 {
+			ev.CPU = time.Duration(d)
+		}
+		if now.allocBytes > s.res.allocBytes {
+			ev.AllocBytes = now.allocBytes - s.res.allocBytes
+		}
+		if now.allocObjects > s.res.allocObjects {
+			ev.AllocObjects = now.allocObjects - s.res.allocObjects
+		}
 	}
 	if s.trace != nil {
 		ev.TraceID = s.trace.id

@@ -15,20 +15,29 @@ import (
 )
 
 // Fan-out metrics (see internal/obs): per-task wall time, batch wall
-// time, and the busy fraction of the worker pool over the last batch.
+// time, the busy fraction of the worker pool over the last batch, and
+// the per-worker busy-ratio spread (min/mean/max across the pool) that
+// separates "pool saturated" from "one straggler worker".
 var (
-	metTask        = obs.Default.Histogram("par.task_seconds")
-	metBatch       = obs.Default.Timer("par.batch")
-	metTasks       = obs.Default.Counter("par.tasks")
-	metErrors      = obs.Default.Counter("par.errors")
-	metWorkers     = obs.Default.Gauge("par.workers")
-	metUtilization = obs.Default.Gauge("par.utilization")
+	metTask          = obs.Default.Histogram("par.task_seconds")
+	metBatch         = obs.Default.Timer("par.batch")
+	metTasks         = obs.Default.Counter("par.tasks")
+	metErrors        = obs.Default.Counter("par.errors")
+	metWorkers       = obs.Default.Gauge("par.workers")
+	metUtilization   = obs.Default.Gauge("par.utilization")
+	metWorkerBusyMin = obs.Default.Gauge("par.worker_busy_ratio_min")
+	metWorkerBusyAvg = obs.Default.Gauge("par.worker_busy_ratio_mean")
+	metWorkerBusyMax = obs.Default.Gauge("par.worker_busy_ratio_max")
 )
 
 // Stats describes one ForEachStats batch.
 type Stats struct {
 	// Durations holds the wall time of each task, index-addressed.
 	Durations []time.Duration
+	// WorkerBusy holds, per worker, the summed wall time of the tasks
+	// that worker executed. len(WorkerBusy) == Workers; a worker's idle
+	// time is Elapsed minus its entry.
+	WorkerBusy []time.Duration
 	// FirstErr is the index of the task whose error ForEachStats
 	// returned (the first error observed), or -1 if every task
 	// succeeded. Later tasks still ran to completion.
@@ -51,6 +60,32 @@ func (s Stats) Utilization() float64 {
 		busy += d
 	}
 	return busy.Seconds() / (float64(s.Workers) * s.Elapsed.Seconds())
+}
+
+// WorkerBusyRatios returns the per-worker busy fractions (WorkerBusy[w]
+// / Elapsed) reduced to their min, mean and max. A wide min-max spread
+// with a healthy mean means the queue drained unevenly — the telemetry
+// the par_worker_busy_ratio_* gauges carry to /metrics.
+func (s Stats) WorkerBusyRatios() (min, mean, max float64) {
+	if len(s.WorkerBusy) == 0 || s.Elapsed <= 0 {
+		return 0, 0, 0
+	}
+	wall := s.Elapsed.Seconds()
+	for i, busy := range s.WorkerBusy {
+		r := busy.Seconds() / wall
+		if r > 1 {
+			r = 1 // scheduler noise: task clocks can overrun the batch clock
+		}
+		if i == 0 || r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+		mean += r
+	}
+	mean /= float64(len(s.WorkerBusy))
+	return min, mean, max
 }
 
 // ForEach runs fn(i) for every i in [0, n) across at most workers
@@ -95,18 +130,27 @@ func ForEachStatsCtx(ctx context.Context, n, workers int, fn func(i int) error) 
 	}
 	stats.Workers = workers
 	stats.Durations = make([]time.Duration, n)
+	stats.WorkerBusy = make([]time.Duration, workers)
 	batchStart := time.Now()
+
+	// Task observations carry the batch's trace so the worst par_task
+	// sample on /metrics names the trace to open in qbeep-trace. The
+	// lookup happens once per batch, not per task.
+	var traceID uint64
+	if obs.TracingEnabled() {
+		traceID = obs.TraceIDFrom(ctx)
+	}
 
 	var (
 		mu    sync.Mutex
 		first error
 	)
-	runTask := func(i int) {
+	runTask := func(i int) time.Duration {
 		t0 := time.Now()
 		err := fn(i)
 		d := time.Since(t0)
 		stats.Durations[i] = d // per-index slot: no lock needed
-		metTask.Observe(d.Seconds())
+		metTask.ObserveTrace(d.Seconds(), traceID)
 		if err != nil {
 			metErrors.Inc()
 			obs.Logger().Warn("parallel task failed", "task", i, "err", err)
@@ -117,11 +161,12 @@ func ForEachStatsCtx(ctx context.Context, n, workers int, fn func(i int) error) 
 			}
 			mu.Unlock()
 		}
+		return d
 	}
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			runTask(i)
+			stats.WorkerBusy[0] += runTask(i)
 		}
 	} else {
 		// Fully buffered dispatch, filled and closed before the workers
@@ -138,14 +183,19 @@ func ForEachStatsCtx(ctx context.Context, n, workers int, fn func(i int) error) 
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				t0 := time.Now()
 				_, wsp := obs.Start(ctx, "par.worker")
 				tasks := 0
+				var busy time.Duration
 				for i := range next {
-					runTask(i)
+					busy += runTask(i)
 					tasks++
 				}
+				stats.WorkerBusy[w] = busy // per-worker slot: no lock needed
 				wsp.SetAttr("worker", w)
 				wsp.SetAttr("tasks", tasks)
+				wsp.SetAttr("busy_ns", busy.Nanoseconds())
+				wsp.SetAttr("idle_ns", max64(time.Since(t0).Nanoseconds()-busy.Nanoseconds(), 0))
 				wsp.End()
 			}(w)
 		}
@@ -157,8 +207,22 @@ func ForEachStatsCtx(ctx context.Context, n, workers int, fn func(i int) error) 
 	metTasks.Add(int64(n))
 	metWorkers.Set(float64(workers))
 	metUtilization.Set(stats.Utilization())
+	busyMin, busyMean, busyMax := stats.WorkerBusyRatios()
+	metWorkerBusyMin.Set(busyMin)
+	metWorkerBusyAvg.Set(busyMean)
+	metWorkerBusyMax.Set(busyMax)
 	obs.Logger().Debug("parallel batch done",
 		"tasks", n, "workers", workers, "elapsed", stats.Elapsed,
-		"utilization", stats.Utilization(), "first_err_index", stats.FirstErr)
+		"utilization", stats.Utilization(), "worker_busy_min", busyMin,
+		"worker_busy_max", busyMax, "first_err_index", stats.FirstErr)
 	return stats, first
+}
+
+// max64 avoids a negative idle reading when the rounding of the two
+// clocks disagrees.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

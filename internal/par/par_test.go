@@ -147,3 +147,55 @@ func TestForEachDefaultWorkers(t *testing.T) {
 		t.Fatalf("sum %d", sum)
 	}
 }
+
+// TestWorkerBusyAccounting: every worker's busy clock must be populated,
+// their sum must equal the summed task durations, and the busy-ratio
+// reduction must stay ordered and within [0, 1].
+func TestWorkerBusyAccounting(t *testing.T) {
+	const n, workers = 32, 4
+	stats, err := ForEachStats(n, workers, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.WorkerBusy) != workers {
+		t.Fatalf("WorkerBusy has %d entries, want %d", len(stats.WorkerBusy), workers)
+	}
+	var fromWorkers, fromTasks time.Duration
+	for _, b := range stats.WorkerBusy {
+		fromWorkers += b
+	}
+	for _, d := range stats.Durations {
+		fromTasks += d
+	}
+	if fromWorkers != fromTasks {
+		t.Fatalf("worker busy sum %v != task duration sum %v", fromWorkers, fromTasks)
+	}
+	min, mean, max := stats.WorkerBusyRatios()
+	if min < 0 || min > mean || mean > max || max > 1 {
+		t.Fatalf("busy ratios min/mean/max = %v/%v/%v not ordered in [0,1]", min, mean, max)
+	}
+	if max <= 0 {
+		t.Fatal("no worker reported busy time")
+	}
+}
+
+// TestWorkerBusySingleWorker: the sequential fast path accounts its one
+// worker too.
+func TestWorkerBusySingleWorker(t *testing.T) {
+	stats, err := ForEachStats(8, 1, func(int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.WorkerBusy) != 1 || stats.WorkerBusy[0] <= 0 {
+		t.Fatalf("WorkerBusy = %v", stats.WorkerBusy)
+	}
+	if _, _, max := stats.WorkerBusyRatios(); max <= 0 {
+		t.Fatal("single-worker busy ratio is zero")
+	}
+}

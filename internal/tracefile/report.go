@@ -9,7 +9,8 @@ import (
 	"time"
 )
 
-// Aggregate is the rollup of every span sharing one name.
+// Aggregate is the rollup of every span sharing one name. The resource
+// sums are zero for streams recorded without capture.
 type Aggregate struct {
 	Name  string
 	Count int
@@ -18,6 +19,13 @@ type Aggregate struct {
 	P50   time.Duration // median span duration
 	P95   time.Duration
 	Max   time.Duration
+	// Resource-attributed sums (optional wire fields; see obs resource.go).
+	CPU              time.Duration // sum of span CPU deltas
+	SelfCPU          time.Duration // CPU minus direct children, per span
+	AllocBytes       uint64
+	AllocObjects     uint64
+	SelfAllocBytes   uint64
+	SelfAllocObjects uint64
 }
 
 // Aggregates rolls the forest up by span name, sorted by total descending
@@ -35,6 +43,12 @@ func (f *Forest) Aggregates() []Aggregate {
 			a.Count++
 			a.Total += s.Duration
 			a.Self += s.SelfTime()
+			a.CPU += s.CPU
+			a.SelfCPU += s.SelfCPU()
+			a.AllocBytes += s.AllocBytes
+			a.AllocObjects += s.AllocObjects
+			a.SelfAllocBytes += s.SelfAllocBytes()
+			a.SelfAllocObjects += s.SelfAllocObjects()
 			if s.Duration > a.Max {
 				a.Max = s.Duration
 			}
@@ -92,7 +106,10 @@ func CriticalPath(t *Trace) []*Span {
 }
 
 // WriteReport prints the human-readable analysis: stream totals, the
-// per-name aggregate table, and the slowest trace's critical path.
+// per-name aggregate table, and the slowest trace's critical path. For
+// streams with resource-attributed spans the table grows cpu/self-cpu
+// and alloc/self-alloc columns; wall-time-only streams render exactly as
+// before capture existed.
 func WriteReport(w io.Writer, f *Forest) error {
 	fmt.Fprintf(w, "spans: %d  traces: %d\n", f.Total, len(f.Traces))
 	aggs := f.Aggregates()
@@ -100,13 +117,27 @@ func WriteReport(w io.Writer, f *Forest) error {
 		_, err := fmt.Fprintln(w, "no spans")
 		return err
 	}
+	res := f.HasResources()
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-32s %8s %12s %12s %12s %12s %12s\n",
-		"name", "count", "total", "self", "p50", "p95", "max")
+	if res {
+		fmt.Fprintf(w, "%-32s %8s %12s %12s %12s %12s %10s %10s %10s %10s\n",
+			"name", "count", "total", "self", "p50", "max", "cpu", "self-cpu", "alloc", "self-alloc")
+	} else {
+		fmt.Fprintf(w, "%-32s %8s %12s %12s %12s %12s %12s\n",
+			"name", "count", "total", "self", "p50", "p95", "max")
+	}
 	for _, a := range aggs {
-		fmt.Fprintf(w, "%-32s %8d %12s %12s %12s %12s %12s\n",
-			a.Name, a.Count, fmtDur(a.Total), fmtDur(a.Self),
-			fmtDur(a.P50), fmtDur(a.P95), fmtDur(a.Max))
+		if res {
+			fmt.Fprintf(w, "%-32s %8d %12s %12s %12s %12s %10s %10s %10s %10s\n",
+				a.Name, a.Count, fmtDur(a.Total), fmtDur(a.Self),
+				fmtDur(a.P50), fmtDur(a.Max),
+				fmtDur(a.CPU), fmtDur(a.SelfCPU),
+				fmtBytes(a.AllocBytes), fmtBytes(a.SelfAllocBytes))
+		} else {
+			fmt.Fprintf(w, "%-32s %8d %12s %12s %12s %12s %12s\n",
+				a.Name, a.Count, fmtDur(a.Total), fmtDur(a.Self),
+				fmtDur(a.P50), fmtDur(a.P95), fmtDur(a.Max))
+		}
 	}
 	slow := f.Slowest()
 	if slow == nil {
@@ -120,8 +151,117 @@ func WriteReport(w io.Writer, f *Forest) error {
 		if rootDur > 0 {
 			pct = 100 * float64(s.Duration) / float64(rootDur)
 		}
-		fmt.Fprintf(w, "  %s%s  %s (%.1f%%)%s\n",
-			strings.Repeat("  ", i), s.Name, fmtDur(s.Duration), pct, attrSuffix(s))
+		fmt.Fprintf(w, "  %s%s  %s (%.1f%%)%s%s\n",
+			strings.Repeat("  ", i), s.Name, fmtDur(s.Duration), pct, resSuffix(s), attrSuffix(s))
+	}
+	return nil
+}
+
+// Hotspot is one span name's self-resource rollup: the cost the span
+// spends in its own frames, not in named children.
+type Hotspot struct {
+	Name             string
+	Count            int
+	SelfTime         time.Duration
+	SelfCPU          time.Duration
+	SelfAllocBytes   uint64
+	SelfAllocObjects uint64
+}
+
+// Hotspots reduces the forest's aggregates to their self-resource view.
+func (f *Forest) Hotspots() []Hotspot {
+	aggs := f.Aggregates()
+	out := make([]Hotspot, 0, len(aggs))
+	for _, a := range aggs {
+		out = append(out, Hotspot{
+			Name:             a.Name,
+			Count:            a.Count,
+			SelfTime:         a.Self,
+			SelfCPU:          a.SelfCPU,
+			SelfAllocBytes:   a.SelfAllocBytes,
+			SelfAllocObjects: a.SelfAllocObjects,
+		})
+	}
+	return out
+}
+
+// WriteHotspots prints the optimization shortlist: spans ranked by
+// self-CPU (where the compute goes) and by self-allocations (where the
+// garbage comes from). top bounds each table (<= 0 means everything).
+// Streams recorded without resource capture fall back to a self-time
+// ranking with a note, so the command stays useful on old traces.
+func WriteHotspots(w io.Writer, f *Forest, top int) error {
+	hs := f.Hotspots()
+	if len(hs) == 0 {
+		_, err := fmt.Fprintln(w, "no spans")
+		return err
+	}
+	limit := func(n int) int {
+		if top > 0 && top < n {
+			return top
+		}
+		return n
+	}
+	if !f.HasResources() {
+		fmt.Fprintln(w, "no resource-attributed spans in this stream (record with -trace; resource capture is on by default)")
+		fmt.Fprintln(w, "falling back to self wall time:")
+		fmt.Fprintln(w)
+		sort.Slice(hs, func(i, j int) bool {
+			if hs[i].SelfTime != hs[j].SelfTime {
+				return hs[i].SelfTime > hs[j].SelfTime
+			}
+			return hs[i].Name < hs[j].Name
+		})
+		fmt.Fprintf(w, "%-32s %8s %12s\n", "name", "count", "self")
+		for _, h := range hs[:limit(len(hs))] {
+			fmt.Fprintf(w, "%-32s %8d %12s\n", h.Name, h.Count, fmtDur(h.SelfTime))
+		}
+		return nil
+	}
+
+	var totalCPU time.Duration
+	var totalObjs uint64
+	for _, h := range hs {
+		totalCPU += h.SelfCPU
+		totalObjs += h.SelfAllocObjects
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].SelfCPU != hs[j].SelfCPU {
+			return hs[i].SelfCPU > hs[j].SelfCPU
+		}
+		return hs[i].Name < hs[j].Name
+	})
+	fmt.Fprintf(w, "hotspots by self-CPU (total %s):\n", fmtDur(totalCPU))
+	fmt.Fprintf(w, "%-32s %8s %12s %7s %12s %12s\n",
+		"name", "count", "self-cpu", "cpu%", "self", "self-alloc")
+	for _, h := range hs[:limit(len(hs))] {
+		pct := 0.0
+		if totalCPU > 0 {
+			pct = 100 * float64(h.SelfCPU) / float64(totalCPU)
+		}
+		fmt.Fprintf(w, "%-32s %8d %12s %6.1f%% %12s %12s\n",
+			h.Name, h.Count, fmtDur(h.SelfCPU), pct, fmtDur(h.SelfTime), fmtBytes(h.SelfAllocBytes))
+	}
+
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].SelfAllocObjects != hs[j].SelfAllocObjects {
+			return hs[i].SelfAllocObjects > hs[j].SelfAllocObjects
+		}
+		if hs[i].SelfAllocBytes != hs[j].SelfAllocBytes {
+			return hs[i].SelfAllocBytes > hs[j].SelfAllocBytes
+		}
+		return hs[i].Name < hs[j].Name
+	})
+	fmt.Fprintf(w, "\nhotspots by self-allocations (total %d objects):\n", totalObjs)
+	fmt.Fprintf(w, "%-32s %8s %12s %7s %12s %12s\n",
+		"name", "count", "self-objs", "objs%", "self-alloc", "self-cpu")
+	for _, h := range hs[:limit(len(hs))] {
+		pct := 0.0
+		if totalObjs > 0 {
+			pct = 100 * float64(h.SelfAllocObjects) / float64(totalObjs)
+		}
+		fmt.Fprintf(w, "%-32s %8d %12d %6.1f%% %12s %12s\n",
+			h.Name, h.Count, h.SelfAllocObjects, pct, fmtBytes(h.SelfAllocBytes), fmtDur(h.SelfCPU))
 	}
 	return nil
 }
@@ -145,8 +285,8 @@ func WriteFlame(w io.Writer, t *Trace) error {
 			frac = 1
 		}
 		bar := strings.Repeat("#", int(frac*40+0.5))
-		fmt.Fprintf(w, "%-60s %12s  %s\n",
-			strings.Repeat("  ", depth)+s.Name, fmtDur(s.Duration), bar)
+		fmt.Fprintf(w, "%-60s %12s  %s%s\n",
+			strings.Repeat("  ", depth)+s.Name, fmtDur(s.Duration), bar, resSuffix(s))
 		for _, c := range s.Children {
 			walk(c, depth+1)
 		}
@@ -264,6 +404,17 @@ func assignLanes(t *Trace) map[*Span]int {
 	return lanes
 }
 
+// resSuffix renders a span's resource deltas for the critical-path and
+// flame listings; empty for spans recorded without capture so old
+// streams print exactly as they always did.
+func resSuffix(s *Span) string {
+	if !s.HasResources() {
+		return ""
+	}
+	return fmt.Sprintf("  {cpu %s, alloc %s/%d}",
+		fmtDur(s.CPU), fmtBytes(s.AllocBytes), s.AllocObjects)
+}
+
 // attrSuffix renders a span's attributes for the critical-path listing.
 func attrSuffix(s *Span) string {
 	if len(s.Attrs) == 0 {
@@ -274,6 +425,20 @@ func attrSuffix(s *Span) string {
 		parts[i] = fmt.Sprintf("%s=%v", a.Key, a.Value)
 	}
 	return "  [" + strings.Join(parts, " ") + "]"
+}
+
+// fmtBytes renders allocation byte counts with a binary-unit suffix.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }
 
 // fmtDur renders durations with three significant places at a stable

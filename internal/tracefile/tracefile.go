@@ -52,6 +52,54 @@ func (s *Span) SelfTime() time.Duration {
 	return self
 }
 
+// HasResources reports whether the span carries any resource-attributed
+// data (cpu/alloc_bytes/alloc_objects wire fields from a capture-enabled
+// recording).
+func (s *Span) HasResources() bool {
+	return s.CPU > 0 || s.AllocBytes > 0 || s.AllocObjects > 0
+}
+
+// SelfCPU is the span's CPU delta minus its direct children's, floored
+// at zero. For fan-out parents the children run on their own threads, so
+// the parent's recorded CPU already excludes theirs and self ≈ total.
+func (s *Span) SelfCPU() time.Duration {
+	self := s.CPU
+	for _, c := range s.Children {
+		self -= c.CPU
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// SelfAllocBytes is the span's allocation-byte delta minus its direct
+// children's, floored at zero. The underlying counters are process-wide,
+// so under concurrent fan-out children can sum past the parent.
+func (s *Span) SelfAllocBytes() uint64 {
+	var kids uint64
+	for _, c := range s.Children {
+		kids += c.AllocBytes
+	}
+	if kids >= s.AllocBytes {
+		return 0
+	}
+	return s.AllocBytes - kids
+}
+
+// SelfAllocObjects is the span's allocation-object delta minus its
+// direct children's, floored at zero.
+func (s *Span) SelfAllocObjects() uint64 {
+	var kids uint64
+	for _, c := range s.Children {
+		kids += c.AllocObjects
+	}
+	if kids >= s.AllocObjects {
+		return 0
+	}
+	return s.AllocObjects - kids
+}
+
 // Trace is one reconstructed trace: every span sharing a TraceID.
 type Trace struct {
 	ID    uint64
@@ -168,6 +216,20 @@ func buildTrace(id uint64, spans []*Span) *Trace {
 		})
 	}
 	return t
+}
+
+// HasResources reports whether any span in the forest carries resource
+// data — the switch that turns on the resource columns in the report and
+// flame views, keeping output for pre-capture traces byte-identical.
+func (f *Forest) HasResources() bool {
+	for _, t := range f.Traces {
+		for _, s := range t.Spans {
+			if s.HasResources() {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Slowest returns the trace with the largest wall-clock duration (ties

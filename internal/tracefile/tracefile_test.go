@@ -144,6 +144,142 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// loadResourceFixture parses the resource-attributed trace: one pipeline
+// run whose spans carry cpu/alloc deltas from a capture-enabled recording.
+func loadResourceFixture(t *testing.T) *Forest {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "resource.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	forest, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return forest
+}
+
+func TestResourceAttribution(t *testing.T) {
+	plain := loadFixture(t)
+	if plain.HasResources() {
+		t.Fatal("wall-time-only fixture reports resources")
+	}
+	forest := loadResourceFixture(t)
+	if !forest.HasResources() {
+		t.Fatal("resource fixture reports no resources")
+	}
+	root := forest.Traces[0].Root()
+	// Pipeline self-CPU: 95ms minus build 28ms and mitigate 55ms.
+	if got := root.SelfCPU(); got != 12*time.Millisecond {
+		t.Fatalf("root self-CPU = %v, want 12ms", got)
+	}
+	// Pipeline self-allocs: 12MiB minus 6MiB + 5MiB children.
+	if got := root.SelfAllocBytes(); got != 1<<20 {
+		t.Fatalf("root self-alloc bytes = %d, want %d", got, 1<<20)
+	}
+	if got := root.SelfAllocObjects(); got != 100 {
+		t.Fatalf("root self-alloc objects = %d, want 100", got)
+	}
+	aggs := forest.Aggregates()
+	byName := map[string]Aggregate{}
+	for _, a := range aggs {
+		byName[a.Name] = a
+	}
+	iter := byName["core.mitigate.iter"]
+	if iter.CPU != 42*time.Millisecond || iter.SelfCPU != 42*time.Millisecond {
+		t.Fatalf("iter agg cpu = %v self = %v", iter.CPU, iter.SelfCPU)
+	}
+	mit := byName["core.mitigate"]
+	if mit.SelfCPU != 13*time.Millisecond || mit.SelfAllocObjects != 200 {
+		t.Fatalf("mitigate agg = %+v", mit)
+	}
+}
+
+// TestSelfResourceClamps: children summing past their parent (process-wide
+// alloc counters under fan-out) clamp self values at zero.
+func TestSelfResourceClamps(t *testing.T) {
+	const stream = `{"name":"kid","trace":1,"span":2,"parent":1,"start":"2026-01-02T03:04:05Z","duration":1000,"cpu":5000,"alloc_bytes":2048,"alloc_objects":9}` + "\n" +
+		`{"name":"dad","trace":1,"span":1,"start":"2026-01-02T03:04:05Z","duration":2000,"cpu":4000,"alloc_bytes":1024,"alloc_objects":3}` + "\n"
+	f, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := f.Traces[0].Root()
+	if got := root.SelfCPU(); got != 0 {
+		t.Fatalf("over-attributed self-CPU = %v, want 0", got)
+	}
+	if root.SelfAllocBytes() != 0 || root.SelfAllocObjects() != 0 {
+		t.Fatalf("over-attributed self-allocs = %d/%d, want 0/0",
+			root.SelfAllocBytes(), root.SelfAllocObjects())
+	}
+}
+
+// TestResourceReportGolden pins the resource-columned report, and
+// TestReportGolden above pins that wall-time-only streams still render
+// the pre-capture layout byte-for-byte.
+func TestResourceReportGolden(t *testing.T) {
+	forest := loadResourceFixture(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, forest); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, buf.Bytes(), filepath.Join("testdata", "resource_report.golden"))
+}
+
+// TestHotspotsGolden pins the -hotspots report: both rankings, shares and
+// the resource formatting.
+func TestHotspotsGolden(t *testing.T) {
+	forest := loadResourceFixture(t)
+	var buf bytes.Buffer
+	if err := WriteHotspots(&buf, forest, 10); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, buf.Bytes(), filepath.Join("testdata", "hotspots.golden"))
+}
+
+func TestHotspotsFallbackAndTop(t *testing.T) {
+	// Wall-time-only stream: falls back to a self-time ranking.
+	var buf bytes.Buffer
+	if err := WriteHotspots(&buf, loadFixture(t), 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "no resource-attributed spans") {
+		t.Fatalf("fallback note missing:\n%s", out)
+	}
+	// Header + note lines plus exactly top=3 rows.
+	if got := strings.Count(out, "\n"); got != 7 {
+		t.Fatalf("fallback output has %d lines, want 7:\n%s", got, out)
+	}
+	// top larger than the table renders everything without panicking.
+	buf.Reset()
+	if err := WriteHotspots(&buf, loadResourceFixture(t), 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "core.graph.build") {
+		t.Fatalf("hotspots missing span:\n%s", buf.String())
+	}
+}
+
+// compareGolden diffs got against the named golden file, rewriting it
+// under -update-golden.
+func compareGolden(t *testing.T, got []byte, goldenPath string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestFlameView(t *testing.T) {
 	forest := loadFixture(t)
 	var buf bytes.Buffer

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"qbeep/internal/obs"
+	"qbeep/internal/par"
 )
 
 func main() {
@@ -29,6 +30,12 @@ func run() error {
 	obs.Default.Counter("smoke.hits").Inc()
 	obs.Default.Gauge("smoke.level").Set(3.5)
 	obs.Default.Histogram("smoke.latency").Observe(0.012)
+	// A trace-stamped worst observation must surface as _window_worst.
+	obs.Default.Histogram("smoke.stamped").ObserveTrace(0.5, 7)
+	// One real fan-out batch populates the par_worker_busy_ratio gauges.
+	if err := par.ForEach(8, 2, func(int) error { return nil }); err != nil {
+		return err
+	}
 
 	ds, err := obs.ServeDebug("127.0.0.1:0")
 	if err != nil {
@@ -58,6 +65,15 @@ func run() error {
 		"# TYPE qbeep_smoke_latency histogram",
 		`qbeep_smoke_latency_bucket{le="+Inf"} 1`,
 		"# TYPE qbeep_runtime_goroutines gauge",
+		// Perf-observatory families: build identity, process resource
+		// telemetry, the trace↔metrics worst-observation link, and the
+		// per-worker busy-ratio spread from the par fan-out.
+		"# TYPE qbeep_build_info gauge",
+		"# TYPE qbeep_runtime_heap_allocs_bytes gauge",
+		`qbeep_smoke_stamped_window_worst{trace="7"} 0.5`,
+		"# TYPE qbeep_par_worker_busy_ratio_min gauge",
+		"# TYPE qbeep_par_worker_busy_ratio_mean gauge",
+		"# TYPE qbeep_par_worker_busy_ratio_max gauge",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %q in:\n%s", want, metrics)
