@@ -53,7 +53,7 @@ bench-smoke:
 # brute-force reference, allocation-free Step) plus the par dispatch
 # bench. BENCH_core.json holds the recorded baseline.
 bench-core:
-	$(GO) test -run '^$$' -bench 'StateGraph' -benchmem ./internal/core
+	$(GO) test -run '^$$' -bench 'StateGraph|BenchmarkMitigate$$' -benchmem ./internal/core
 	$(GO) test -run '^$$' -bench 'ForEachTinyTasks' -benchmem ./internal/par
 
 # bench-sim: the simulation kernel engine — fused vs unfused vs the
@@ -104,6 +104,7 @@ obs-smoke:
 	$$tmp/qbeep-trace -hotspots internal/tracefile/testdata/resource.ndjson | tee $$tmp/hotspots.txt; \
 	grep -q 'hotspots by self-CPU' $$tmp/hotspots.txt; \
 	grep -q 'hotspots by self-allocations' $$tmp/hotspots.txt; \
+	grep -q 'adaptive early exit: 17 flow iterations saved' $$tmp/hotspots.txt; \
 	$(GO) run ./scripts/obssmoke
 
 ci: vet lint test race bench-smoke obs-smoke bench-gate

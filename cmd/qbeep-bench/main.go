@@ -40,7 +40,7 @@ type suiteCmd struct {
 // Makefile stays the human entry point, this map the machine one.
 var suites = map[string][]suiteCmd{
 	"core": {
-		{pkg: "./internal/core", bench: "StateGraph"},
+		{pkg: "./internal/core", bench: "StateGraph|BenchmarkMitigate$"},
 		{pkg: "./internal/par", bench: "ForEachTinyTasks"},
 	},
 	"sim": {

@@ -33,16 +33,19 @@ func main() {
 
 func run() error {
 	var (
-		figs       = flag.String("fig", "all", "comma-separated figure ids (1,2,4,6,7,8,9,10,11), 'ablations', or 'all'")
-		scale      = flag.Float64("scale", 1, "corpus scale in (0,1]")
-		shots      = flag.Int("shots", 4096, "shots per circuit")
-		seed       = flag.Uint64("seed", 20230617, "root RNG seed")
-		csvDir     = flag.String("csv", "", "directory for per-figure CSV dumps (created if missing)")
-		report     = flag.String("report", "", "write a machine-readable JSON run report to this path ('-' = stderr)")
-		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof/, /debug/vars, /metrics and /healthz on this address (e.g. localhost:6060)")
-		traceFlags = obs.AddTraceFlags(nil)
-		logFlags   = obs.AddLogFlags(nil)
-		version    = buildinfo.AddVersionFlag(nil)
+		figs        = flag.String("fig", "all", "comma-separated figure ids (1,2,4,6,7,8,9,10,11), 'ablations', or 'all'")
+		scale       = flag.Float64("scale", 1, "corpus scale in (0,1]")
+		shots       = flag.Int("shots", 4096, "shots per circuit")
+		seed        = flag.Uint64("seed", 20230617, "root RNG seed")
+		iterations  = flag.Int("iterations", 0, "flow iterations per mitigation (0 = paper default 20)")
+		convergeTol = flag.Float64("converge-tol", 0, "stop each mitigation early when the per-iteration Hellinger delta falls below this (0 = fixed schedule)")
+		topK        = flag.Int("top-k", 0, "approximate mode: keep only the k heaviest edges per vertex (0 = exact)")
+		csvDir      = flag.String("csv", "", "directory for per-figure CSV dumps (created if missing)")
+		report      = flag.String("report", "", "write a machine-readable JSON run report to this path ('-' = stderr)")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof/, /debug/vars, /metrics and /healthz on this address (e.g. localhost:6060)")
+		traceFlags  = obs.AddTraceFlags(nil)
+		logFlags    = obs.AddLogFlags(nil)
+		version     = buildinfo.AddVersionFlag(nil)
 	)
 	flag.Parse()
 	if *version {
@@ -76,10 +79,13 @@ func run() error {
 	}()
 
 	cfg := experiments.Config{
-		Seed:  *seed,
-		Shots: *shots,
-		Scale: *scale,
-		Out:   os.Stdout,
+		Seed:        *seed,
+		Shots:       *shots,
+		Scale:       *scale,
+		Iterations:  *iterations,
+		ConvergeTol: *convergeTol,
+		TopK:        *topK,
+		Out:         os.Stdout,
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -46,29 +46,33 @@ func main() {
 
 // config carries the parsed flags into the traced pipeline body.
 type config struct {
-	countsPath string
-	lambda     float64
-	qasmPath   string
-	backend    string
-	iterations int
-	epsilon    float64
-	dotPath    string
-	outPath    string
+	countsPath  string
+	lambda      float64
+	qasmPath    string
+	backend     string
+	iterations  int
+	epsilon     float64
+	convergeTol float64
+	topK        int
+	dotPath     string
+	outPath     string
 }
 
 func run() error {
 	var (
-		countsPath = flag.String("counts", "", "path to counts JSON (required)")
-		lambda     = flag.Float64("lambda", -1, "Poisson rate λ (skip estimation)")
-		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 circuit for λ estimation")
-		backend    = flag.String("backend", "", "backend name for λ estimation (see qbeep-backends)")
-		iterations = flag.Int("iterations", 20, "state-graph update iterations")
-		epsilon    = flag.Float64("epsilon", 0.05, "edge threshold ε")
-		dotPath    = flag.String("dot", "", "also write the pre-mitigation state graph as Graphviz DOT")
-		outPath    = flag.String("o", "", "output path (default stdout)")
-		traceFlags = obs.AddTraceFlags(nil)
-		logFlags   = obs.AddLogFlags(nil)
-		version    = buildinfo.AddVersionFlag(nil)
+		countsPath  = flag.String("counts", "", "path to counts JSON (required)")
+		lambda      = flag.Float64("lambda", -1, "Poisson rate λ (skip estimation)")
+		qasmPath    = flag.String("qasm", "", "OpenQASM 2.0 circuit for λ estimation")
+		backend     = flag.String("backend", "", "backend name for λ estimation (see qbeep-backends)")
+		iterations  = flag.Int("iterations", 20, "state-graph update iterations")
+		epsilon     = flag.Float64("epsilon", 0.05, "edge threshold ε")
+		convergeTol = flag.Float64("converge-tol", 0, "stop early when the per-iteration Hellinger delta falls below this (0 = fixed schedule)")
+		topK        = flag.Int("top-k", 0, "approximate mode: keep only the k heaviest edges per vertex (0 = exact)")
+		dotPath     = flag.String("dot", "", "also write the pre-mitigation state graph as Graphviz DOT")
+		outPath     = flag.String("o", "", "output path (default stdout)")
+		traceFlags  = obs.AddTraceFlags(nil)
+		logFlags    = obs.AddLogFlags(nil)
+		version     = buildinfo.AddVersionFlag(nil)
 	)
 	flag.Parse()
 	if *version {
@@ -86,14 +90,16 @@ func run() error {
 		return err
 	}
 	err = pipeline(config{
-		countsPath: *countsPath,
-		lambda:     *lambda,
-		qasmPath:   *qasmPath,
-		backend:    *backend,
-		iterations: *iterations,
-		epsilon:    *epsilon,
-		dotPath:    *dotPath,
-		outPath:    *outPath,
+		countsPath:  *countsPath,
+		lambda:      *lambda,
+		qasmPath:    *qasmPath,
+		backend:     *backend,
+		iterations:  *iterations,
+		epsilon:     *epsilon,
+		convergeTol: *convergeTol,
+		topK:        *topK,
+		dotPath:     *dotPath,
+		outPath:     *outPath,
 	})
 	// The sink must flush even when the pipeline failed — a partial trace
 	// still analyzes — and its own error surfaces only on success.
@@ -165,7 +171,12 @@ func pipeline(cfg config) error {
 		obs.Logger().Info("wrote state graph", "stats", g.Stats().String(), "path", cfg.dotPath)
 	}
 
-	opts := qbeep.Options{Iterations: cfg.iterations, Epsilon: cfg.epsilon}
+	opts := qbeep.Options{
+		Iterations:  cfg.iterations,
+		Epsilon:     cfg.epsilon,
+		ConvergeTol: cfg.convergeTol,
+		TopK:        cfg.topK,
+	}
 	mitigated, err := qbeep.MitigateCtx(ctx, counts, lam, opts)
 	if err != nil {
 		return err

@@ -117,6 +117,92 @@ func TestPipelineTraceEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPipelineConvergeTolTrace runs the pipeline with a loose -converge-tol
+// and verifies the adaptive early exit leaves its evidence in the trace:
+// fewer iteration spans than the schedule, a positive iterations_saved on
+// the core.mitigate span, and the hotspots summary line.
+func TestPipelineConvergeTolTrace(t *testing.T) {
+	dir := t.TempDir()
+	countsPath := filepath.Join(dir, "counts.json")
+	counts := map[string]int{"0101": 3812, "0111": 120, "0001": 88, "1101": 60}
+	raw, err := json.Marshal(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(countsPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "run.ndjson")
+
+	tf := obs.TraceFlags{Path: tracePath}
+	stopTrace, err := tf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iterations = 20
+	perr := pipeline(config{
+		countsPath:  countsPath,
+		lambda:      1.4,
+		iterations:  iterations,
+		epsilon:     0.05,
+		convergeTol: 0.05, // loose: this tiny corpus settles within a few steps
+		outPath:     filepath.Join(dir, "out.json"),
+	})
+	if err := stopTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if perr != nil {
+		t.Fatal(perr)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	forest, err := tracefile.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := forest.Slowest()
+	if tr == nil {
+		t.Fatal("no trace captured")
+	}
+	var mitigate *tracefile.Span
+	iterSpans := 0
+	for _, s := range tr.Spans {
+		switch s.Name {
+		case "core.mitigate":
+			mitigate = s
+		case "core.mitigate.iter":
+			iterSpans++
+		}
+	}
+	if mitigate == nil {
+		t.Fatal("core.mitigate span missing")
+	}
+	if iterSpans >= iterations {
+		t.Fatalf("ran %d iteration spans, expected an early exit below %d", iterSpans, iterations)
+	}
+	saved, ok := mitigate.Attr("iterations_saved")
+	if !ok {
+		t.Fatalf("core.mitigate missing iterations_saved attr: %+v", mitigate.SpanEvent)
+	}
+	if n, isNum := saved.(float64); !isNum || int(n) != iterations-iterSpans {
+		t.Fatalf("iterations_saved = %v, want %d", saved, iterations-iterSpans)
+	}
+	if total, spans := forest.IterationsSaved(); total != int64(iterations-iterSpans) || spans == 0 {
+		t.Fatalf("forest.IterationsSaved() = %d/%d", total, spans)
+	}
+	var hot strings.Builder
+	if err := tracefile.WriteHotspots(&hot, forest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hot.String(), "adaptive early exit:") {
+		t.Fatalf("hotspots report missing early-exit summary:\n%s", hot.String())
+	}
+}
+
 // TestPipelineLambdaFromQASM covers the estimation path: with no -lambda
 // the pipeline parses the circuit, estimates λ on the named backend, and
 // the parse/transpile spans join the same trace.

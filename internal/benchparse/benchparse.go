@@ -215,14 +215,30 @@ var KnownRatios = map[string]RatioDef{
 	},
 	"fused_speedup_vs_naive":   {Slow: "BenchmarkNaiveRun", Fast: "BenchmarkRun"},
 	"unfused_speedup_vs_naive": {Slow: "BenchmarkNaiveRun", Fast: "BenchmarkRunUnfused"},
+	"mitigate_topk_speedup_v1e5": {
+		Slow: "BenchmarkMitigate/V1e5",
+		Fast: "BenchmarkMitigate/V1e5_topk8",
+	},
 }
 
 // KnownAllocInvariants maps derived allocs-per-op keys to the benchmark
-// whose allocation count they pin (all currently zero: the engine's hot
-// loops must stay allocation-free).
+// whose allocation count they pin. The recorded baseline value is the
+// ceiling: the hot loops must stay allocation-free (zero) and the graph
+// build must stay within its fixed arena budget.
 var KnownAllocInvariants = map[string]string{
 	"step_allocs_per_op":               "BenchmarkStateGraphStep/V4096/lambda1",
 	"probabilities_into_allocs_per_op": "BenchmarkProbabilitiesInto",
+	"build_allocs_v4096_lambda1":       "BenchmarkBuildStateGraph/V4096/lambda1",
+}
+
+// KnownBudgets maps derived wall-clock keys to the benchmark whose ns/op
+// they convert to seconds. Unlike the speedup ratios these are absolute:
+// the recorded baseline value is a budget with headroom over the
+// measured time, and a compare run regresses when the fresh measurement
+// exceeds it — the "mitigable in seconds" acceptance bound for the
+// million-vertex track.
+var KnownBudgets = map[string]string{
+	"mitigate_v1e6_seconds": "BenchmarkMitigate/V1e6",
 }
 
 // Ratios recomputes every known derived invariant present in the result
@@ -246,6 +262,11 @@ func Ratios(results []Result) map[string]float64 {
 			out[key] = float64(r.AllocsOp)
 		}
 	}
+	for key, name := range KnownBudgets {
+		if r, ok := byName[name]; ok && r.NsOp > 0 {
+			out[key] = round2(r.NsOp / 1e9)
+		}
+	}
 	return out
 }
 
@@ -266,8 +287,11 @@ type Finding struct {
 // result set and flags regressions. Speedup ratios regress when the
 // current value drops below baseline×(1−threshold); allocation
 // invariants regress on any increase (a hot loop that starts allocating
-// is a bug, not noise). Derived keys whose benchmarks are absent from
-// the results are skipped — a partial run gates only what it measured.
+// is a bug, not noise); wall-clock budgets regress when the measured
+// seconds exceed the recorded budget (the baseline already carries the
+// headroom, so no extra threshold applies). Derived keys whose
+// benchmarks are absent from the results are skipped — a partial run
+// gates only what it measured.
 func Compare(base *Baseline, results []Result, threshold float64) []Finding {
 	current := Ratios(results)
 	keys := make([]string, 0, len(base.Derived))
@@ -283,6 +307,8 @@ func Compare(base *Baseline, results []Result, threshold float64) []Finding {
 		}
 		f := Finding{Key: key, Baseline: base.Derived[key], Current: cur}
 		if _, isAlloc := KnownAllocInvariants[key]; isAlloc {
+			f.Regression = cur > f.Baseline
+		} else if _, isBudget := KnownBudgets[key]; isBudget {
 			f.Regression = cur > f.Baseline
 		} else {
 			f.Regression = cur < f.Baseline*(1-threshold)

@@ -119,6 +119,56 @@ func TestRatios(t *testing.T) {
 	}
 }
 
+func TestRatiosScaleKeys(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkMitigate/V1e5", NsOp: 4.2e9},
+		{Name: "BenchmarkMitigate/V1e5_topk8", NsOp: 1.4e9},
+		{Name: "BenchmarkMitigate/V1e6", NsOp: 3.75e9},
+		{Name: "BenchmarkBuildStateGraph/V4096/lambda1", NsOp: 5e6, AllocsOp: 29},
+	}
+	r := Ratios(results)
+	if math.Abs(r["mitigate_topk_speedup_v1e5"]-3.0) > 1e-9 {
+		t.Fatalf("topk speedup = %v", r["mitigate_topk_speedup_v1e5"])
+	}
+	// Budgets convert ns/op to seconds.
+	if math.Abs(r["mitigate_v1e6_seconds"]-3.75) > 1e-9 {
+		t.Fatalf("v1e6 budget = %v", r["mitigate_v1e6_seconds"])
+	}
+	if v, ok := r["build_allocs_v4096_lambda1"]; !ok || v != 29 {
+		t.Fatalf("build alloc invariant = %v (present=%v)", v, ok)
+	}
+}
+
+func TestCompareBudgetCeiling(t *testing.T) {
+	base := &Baseline{Derived: map[string]float64{
+		"mitigate_v1e6_seconds":      9.0,
+		"build_allocs_v4096_lambda1": 64,
+	}}
+	within := []Result{
+		{Name: "BenchmarkMitigate/V1e6", NsOp: 3.8e9},
+		{Name: "BenchmarkBuildStateGraph/V4096/lambda1", NsOp: 5e6, AllocsOp: 31},
+	}
+	for _, f := range Compare(base, within, 0.25) {
+		if f.Regression {
+			t.Fatalf("within-budget run flagged: %+v", f)
+		}
+	}
+	// Budgets are absolute ceilings: no threshold slack on the way up.
+	over := []Result{
+		{Name: "BenchmarkMitigate/V1e6", NsOp: 9.3e9},
+		{Name: "BenchmarkBuildStateGraph/V4096/lambda1", NsOp: 5e6, AllocsOp: 140},
+	}
+	findings := Compare(base, over, 0.25)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	for _, f := range findings {
+		if !f.Regression {
+			t.Fatalf("blown ceiling not flagged: %+v", f)
+		}
+	}
+}
+
 func TestCompareFlagsSyntheticRegression(t *testing.T) {
 	base := &Baseline{Derived: map[string]float64{
 		"fused_speedup_vs_naive":           3.65,
@@ -174,8 +224,12 @@ func TestCompareThreshold(t *testing.T) {
 
 func TestBaselinesParseAndRecompute(t *testing.T) {
 	// The checked-in baselines must parse under the unified schema, and
-	// their derived ratios must match what Ratios recomputes from their
-	// own entries — the files cannot drift from the definitions.
+	// their derived keys must be consistent with what Ratios recomputes
+	// from their own entries — the files cannot drift from the
+	// definitions. Speedup ratios must match exactly; alloc invariants
+	// and wall-clock budgets are ceilings (the recorded value may carry
+	// headroom over the measurement), so the recomputed value must only
+	// stay at or under them.
 	for _, path := range []string{"../../BENCH_core.json", "../../BENCH_sim.json"} {
 		base, err := LoadBaseline(path)
 		if err != nil {
@@ -193,6 +247,14 @@ func TestBaselinesParseAndRecompute(t *testing.T) {
 			got, ok := recomputed[key]
 			if !ok {
 				t.Errorf("%s: derived %q not recomputable from its own entries", path, key)
+				continue
+			}
+			_, isAlloc := KnownAllocInvariants[key]
+			_, isBudget := KnownBudgets[key]
+			if isAlloc || isBudget {
+				if got > want {
+					t.Errorf("%s: ceiling %q = %v exceeded by its own entries (%v)", path, key, want, got)
+				}
 				continue
 			}
 			if math.Abs(got-want) > 0.01+1e-9 {

@@ -289,6 +289,27 @@ func TestMitigateValidation(t *testing.T) {
 	if _, err := Mitigate(raw, 1, bad); err == nil {
 		t.Error("bad epsilon should error")
 	}
+	bad = NewOptions()
+	bad.ConvergeTol = -0.01
+	if _, err := Mitigate(raw, 1, bad); err == nil {
+		t.Error("negative converge tolerance should error")
+	}
+	bad = NewOptions()
+	bad.ConvergeTol = math.NaN()
+	if _, err := Mitigate(raw, 1, bad); err == nil {
+		t.Error("NaN converge tolerance should error")
+	}
+	bad = NewOptions()
+	bad.TopK = -3
+	if _, err := Mitigate(raw, 1, bad); err == nil {
+		t.Error("negative top-k should error")
+	}
+	ok := NewOptions()
+	ok.ConvergeTol = 0
+	ok.TopK = 0
+	if _, err := Mitigate(raw, 1, ok); err != nil {
+		t.Errorf("zero converge tolerance and top-k are the exact defaults: %v", err)
+	}
 	if _, err := Mitigate(bitstring.NewDist(3), 1, NewOptions()); err == nil {
 		t.Error("empty counts should error")
 	}

@@ -13,11 +13,11 @@ import (
 )
 
 // workerMatrix returns the worker counts the equivalence tests sweep:
-// {1, 4, GOMAXPROCS} plus any extras from QBEEP_TEST_WORKERS (a
+// {1, 2, 4, 8, GOMAXPROCS} plus any extras from QBEEP_TEST_WORKERS (a
 // comma-separated list, set by the Makefile race target) — deduplicated.
 func workerMatrix(t *testing.T) []int {
 	t.Helper()
-	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	counts := []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
 	if env := os.Getenv("QBEEP_TEST_WORKERS"); env != "" {
 		for _, f := range strings.Split(env, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(f))

@@ -17,6 +17,9 @@ var (
 
 	metMitigateRuns  = obs.Default.Counter("core.mitigate.runs")
 	metMitigateIters = obs.Default.Counter("core.mitigate.iterations")
+	// Iterations the adaptive ConvergeTol early exit skipped relative to
+	// the configured schedule (0 for fixed-schedule runs).
+	metMitigateSaved = obs.Default.Counter("core.mitigate.iterations_saved")
 	metMitigate      = obs.Default.Timer("core.mitigate")
 	metFlowMoved     = obs.Default.Histogram("core.mitigate.flow_moved")
 	metFinalL1       = obs.Default.Histogram("core.mitigate.final_l1_delta")

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -197,6 +199,65 @@ func BuildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*Stat
 	return BuildStateGraphWorkers(counts, w, eps, 0)
 }
 
+// sparsifyTopK prunes the graph to each vertex's k heaviest incident
+// edges — the opt-in approximation behind Options.TopK. Selection is by
+// (weight descending, canonical edge index ascending), so ties resolve
+// identically on every run, and an edge survives when either endpoint
+// selects it (the symmetric k-NN union), keeping the graph undirected
+// with every vertex retaining min(k, degree) edges or more. Surviving
+// edges keep their canonical ascending (a, b) order, so the filtered
+// graph — like the exact scan — is independent of the worker count.
+// Returns the number of edges dropped.
+func (g *StateGraph) sparsifyTopK(k int) int {
+	nV := len(g.nodes)
+	if k <= 0 || len(g.edges) == 0 {
+		return 0
+	}
+	keep := make([]bool, len(g.edges))
+	var scratch []int32
+	for i := 0; i < nV; i++ {
+		inc := g.IncidentEdges(i)
+		if len(inc) <= k {
+			for _, ei := range inc {
+				keep[ei] = true
+			}
+			continue
+		}
+		scratch = append(scratch[:0], inc...)
+		slices.SortFunc(scratch, func(x, y int32) int {
+			wx, wy := g.edges[x].weight, g.edges[y].weight
+			if wx > wy {
+				return -1
+			}
+			if wx < wy {
+				return 1
+			}
+			return int(x - y)
+		})
+		for _, ei := range scratch[:k] {
+			keep[ei] = true
+		}
+	}
+	deg := make([]int32, nV+1)
+	out := g.edges[:0]
+	for ei := range g.edges {
+		if !keep[ei] {
+			continue
+		}
+		e := g.edges[ei]
+		deg[e.a+1]++
+		deg[e.b+1]++
+		out = append(out, e)
+	}
+	dropped := len(g.edges) - len(out)
+	if dropped == 0 {
+		return 0 // existing CSR still valid
+	}
+	g.edges = out
+	g.buildCSRCounted(deg)
+	return dropped
+}
+
 // BuildStateGraphWorkers is BuildStateGraph with an explicit cap on the
 // edge-scan worker count (<= 0 selects GOMAXPROCS). The result is
 // independent of the worker count: vertex ranges emit their edges in
@@ -204,7 +265,7 @@ func BuildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64) (*Stat
 // so the edge array — and every downstream Step — never depends on
 // scheduling.
 func BuildStateGraphWorkers(counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int) (*StateGraph, error) {
-	return buildStateGraphCtx(context.Background(), counts, w, eps, workers, scanAuto)
+	return buildStateGraphCtx(context.Background(), counts, w, eps, workers, scanAuto, 0)
 }
 
 // BuildStateGraphCtx is BuildStateGraphWorkers with trace-context
@@ -212,14 +273,14 @@ func BuildStateGraphWorkers(counts *bitstring.Dist, w EdgeWeighter, eps float64,
 // active in ctx, and the parallel edge scan's worker spans parent under
 // it.
 func BuildStateGraphCtx(ctx context.Context, counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int) (*StateGraph, error) {
-	return buildStateGraphCtx(ctx, counts, w, eps, workers, scanAuto)
+	return buildStateGraphCtx(ctx, counts, w, eps, workers, scanAuto, 0)
 }
 
 func buildStateGraph(counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int, strat scanStrategy) (*StateGraph, error) {
-	return buildStateGraphCtx(context.Background(), counts, w, eps, workers, strat)
+	return buildStateGraphCtx(context.Background(), counts, w, eps, workers, strat, 0)
 }
 
-func buildStateGraphCtx(ctx context.Context, counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int, strat scanStrategy) (*StateGraph, error) {
+func buildStateGraphCtx(ctx context.Context, counts *bitstring.Dist, w EdgeWeighter, eps float64, workers int, strat scanStrategy, topK int) (*StateGraph, error) {
 	if err := validateBuild(counts, w, eps); err != nil {
 		return nil, err
 	}
@@ -236,6 +297,10 @@ func buildStateGraphCtx(ctx context.Context, counts *bitstring.Dist, w EdgeWeigh
 	var deg []int32
 	g.edges, deg, g.pruned, used = scanEdges(ctx, vals, g.n, g.radius, tab, workers, strat)
 	g.buildCSRCounted(deg)
+	dropped := 0
+	if topK > 0 {
+		dropped = g.sparsifyTopK(topK)
+	}
 	elapsed := time.Since(t0) //qbeep:allow-time span/metric timing, not kernel state
 	metGraphBuild.ObserveDuration(elapsed)
 	metGraphVerts.Set(float64(len(g.nodes)))
@@ -252,10 +317,20 @@ func buildStateGraphCtx(ctx context.Context, counts *bitstring.Dist, w EdgeWeigh
 	sp.SetAttr("edges", len(g.edges))
 	sp.SetAttr("pruned", g.pruned)
 	sp.SetAttr("strategy", used.String())
+	if topK > 0 {
+		sp.SetAttr("top_k", topK)
+		sp.SetAttr("edges_dropped", dropped)
+	}
 	sp.End()
-	obs.Logger().Debug("state graph built",
-		"vertices", len(g.nodes), "edges", len(g.edges), "pruned", g.pruned,
-		"radius", g.radius, "width", g.n, "strategy", used.String(), "elapsed", elapsed)
+	// Gated on the level check: assembling the key/value list boxes a
+	// dozen arguments, a measurable slice of the per-build allocations
+	// when debug logging is off (the default).
+	if l := obs.Logger(); l.Enabled(ctx, slog.LevelDebug) {
+		l.Debug("state graph built",
+			"vertices", len(g.nodes), "edges", len(g.edges), "pruned", g.pruned,
+			"radius", g.radius, "width", g.n, "strategy", used.String(),
+			"top_k", topK, "edges_dropped", dropped, "elapsed", elapsed)
+	}
 	return g, nil
 }
 
@@ -294,9 +369,10 @@ func (g *StateGraph) IncidentEdges(i int) []int32 {
 	return g.adjEdges[g.adjStart[i]:g.adjStart[i+1]]
 }
 
-// Dist snapshots the current vertex counts as a distribution.
+// Dist snapshots the current vertex counts as a distribution, pre-sized
+// to the vertex count so million-vertex snapshots insert without rehash.
 func (g *StateGraph) Dist() *bitstring.Dist {
-	d := bitstring.NewDist(g.n)
+	d := bitstring.NewDistCap(g.n, len(g.nodes))
 	for _, nd := range g.nodes {
 		if nd.count > 0 {
 			d.Add(nd.value, nd.count)
@@ -462,6 +538,13 @@ func (g *StateGraph) Step(eta float64) StepStats {
 		delta[e.b] += fab - fba
 		st.FlowMoved += fab + fba
 	}
+	// The apply pass also accumulates the Bhattacharyya overlap between
+	// the pre- and post-step counts, yielding the per-iteration Hellinger
+	// delta (the Options.ConvergeTol signal) without a second scan. It
+	// only reads the counts, so the update itself stays bit-identical to
+	// the fixed-schedule path.
+	prevTotal := g.total
+	var bcSum float64
 	g.total = 0
 	for i := range g.nodes {
 		c := g.nodes[i].count + delta[i]
@@ -473,8 +556,18 @@ func (g *StateGraph) Step(eta float64) StepStats {
 		} else {
 			st.L1Delta -= d
 		}
+		bcSum += math.Sqrt(g.nodes[i].count * c)
 		g.nodes[i].count = c
 		g.total += c
+	}
+	if prevTotal > 0 && g.total > 0 {
+		bc := bcSum / math.Sqrt(prevTotal*g.total)
+		if bc > 1 {
+			bc = 1
+		}
+		st.Hellinger = math.Sqrt(1 - bc)
+	} else if prevTotal > 0 || g.total > 0 {
+		st.Hellinger = 1
 	}
 	return st
 }
@@ -487,6 +580,10 @@ type StepStats struct {
 	// L1Delta is Σ_i |Δcount_i|: the net per-vertex change actually
 	// applied, the natural convergence signal (≈ 0 at the fixed point).
 	L1Delta float64
+	// Hellinger is the Hellinger distance between the pre- and post-step
+	// normalized distributions — the per-iteration delta that
+	// Options.ConvergeTol compares against for adaptive early exit.
+	Hellinger float64
 }
 
 // Vertices returns the observed strings sorted ascending (testing/debug).

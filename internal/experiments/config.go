@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"qbeep/internal/core"
 	"qbeep/internal/mathx"
 )
 
@@ -23,6 +24,16 @@ type Config struct {
 	// machine sweeps) so the full pipeline can run quickly; 1 reproduces
 	// the paper-sized corpora.
 	Scale float64
+	// Iterations overrides the flow-iteration count for every Q-BEEP run
+	// (0 keeps the paper's 20-iteration schedule).
+	Iterations int
+	// ConvergeTol, when > 0, stops each mitigation early once the
+	// per-iteration Hellinger delta falls below it. The paper figures use
+	// the fixed schedule (0).
+	ConvergeTol float64
+	// TopK, when > 0, runs every mitigation in approximate mode keeping
+	// only the k heaviest edges per vertex. 0 is the exact engine.
+	TopK int
 	// Out receives the printed tables; nil discards them.
 	Out io.Writer
 }
@@ -45,10 +56,32 @@ func (c *Config) normalize() error {
 	if c.Scale <= 0 || c.Scale > 1 {
 		return fmt.Errorf("experiments: scale %v outside (0,1]", c.Scale)
 	}
+	if c.Iterations < 0 {
+		return fmt.Errorf("experiments: iterations %d must be >= 0", c.Iterations)
+	}
+	if c.ConvergeTol < 0 {
+		return fmt.Errorf("experiments: converge tolerance %v must be >= 0", c.ConvergeTol)
+	}
+	if c.TopK < 0 {
+		return fmt.Errorf("experiments: top-k %d must be >= 0", c.TopK)
+	}
 	if c.Out == nil {
 		c.Out = io.Discard
 	}
 	return nil
+}
+
+// mitigateOptions returns the core options every runner hands to
+// Mitigate: the paper defaults with the config's overrides applied.
+// Ablation rows that sweep these knobs themselves build their own.
+func (c *Config) mitigateOptions() core.Options {
+	opts := core.NewOptions()
+	if c.Iterations > 0 {
+		opts.Iterations = c.Iterations
+	}
+	opts.ConvergeTol = c.ConvergeTol
+	opts.TopK = c.TopK
+	return opts
 }
 
 // scaled returns max(minimum, round(n·Scale)).

@@ -28,12 +28,13 @@ type Outcome struct {
 }
 
 // runWorkload executes the workload on the backend under the default
-// hardware-like noise model and applies Q-BEEP (Eq. 2 λ) and HAMMER.
-// track enables the per-iteration fidelity trace (costs one fidelity
-// evaluation per iteration). Every completed workload is logged at info
-// level (circuit, backend, elapsed) — the progress feed for multi-minute
-// figure runs.
-func runWorkload(w *algorithms.Workload, b *device.Backend, shots int, rng *mathx.RNG, track bool) (*Outcome, error) {
+// hardware-like noise model and applies Q-BEEP (Eq. 2 λ, with the
+// caller's core options — iteration schedule, convergence tolerance,
+// top-k mode) and HAMMER. track enables the per-iteration fidelity
+// trace (costs one fidelity evaluation per iteration). Every completed
+// workload is logged at info level (circuit, backend, elapsed) — the
+// progress feed for multi-minute figure runs.
+func runWorkload(w *algorithms.Workload, b *device.Backend, shots int, opts core.Options, rng *mathx.RNG, track bool) (*Outcome, error) {
 	t0 := time.Now()
 	exec, err := noise.NewExecutor(b, noise.DefaultModel())
 	if err != nil {
@@ -55,7 +56,6 @@ func runWorkload(w *algorithms.Workload, b *device.Backend, shots int, rng *math
 	if err != nil {
 		return nil, err
 	}
-	opts := core.NewOptions()
 	var qb *bitstring.Dist
 	var trace []float64
 	if track {

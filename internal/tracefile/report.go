@@ -185,11 +185,44 @@ func (f *Forest) Hotspots() []Hotspot {
 	return out
 }
 
+// IterationsSaved sums the iterations_saved attribute over the forest's
+// core.mitigate spans — the flow iterations the adaptive convergence
+// early-exit skipped (see DESIGN.md §13). Only the mitigation root spans
+// count: the triggering core.mitigate.iter child repeats the value and
+// would double it. spans counts how many carried the attribute, so a
+// fixed-schedule stream (every saved value zero) still reads differently
+// from an old stream without the attribute.
+func (f *Forest) IterationsSaved() (saved int64, spans int) {
+	for _, t := range f.Traces {
+		for _, s := range t.Spans {
+			if s.Name != "core.mitigate" {
+				continue
+			}
+			v, ok := s.Attr("iterations_saved")
+			if !ok {
+				continue
+			}
+			spans++
+			switch n := v.(type) {
+			case float64:
+				saved += int64(n)
+			case int64:
+				saved += n
+			case int:
+				saved += int64(n)
+			}
+		}
+	}
+	return saved, spans
+}
+
 // WriteHotspots prints the optimization shortlist: spans ranked by
 // self-CPU (where the compute goes) and by self-allocations (where the
 // garbage comes from). top bounds each table (<= 0 means everything).
-// Streams recorded without resource capture fall back to a self-time
-// ranking with a note, so the command stays useful on old traces.
+// Mitigation spans recorded with the adaptive early-exit attribute get a
+// summary line of the skipped iterations. Streams recorded without
+// resource capture fall back to a self-time ranking with a note, so the
+// command stays useful on old traces.
 func WriteHotspots(w io.Writer, f *Forest, top int) error {
 	hs := f.Hotspots()
 	if len(hs) == 0 {
@@ -216,6 +249,7 @@ func WriteHotspots(w io.Writer, f *Forest, top int) error {
 		for _, h := range hs[:limit(len(hs))] {
 			fmt.Fprintf(w, "%-32s %8d %12s\n", h.Name, h.Count, fmtDur(h.SelfTime))
 		}
+		writeIterationsSaved(w, f)
 		return nil
 	}
 
@@ -263,7 +297,18 @@ func WriteHotspots(w io.Writer, f *Forest, top int) error {
 		fmt.Fprintf(w, "%-32s %8d %12d %6.1f%% %12s %12s\n",
 			h.Name, h.Count, h.SelfAllocObjects, pct, fmtBytes(h.SelfAllocBytes), fmtDur(h.SelfCPU))
 	}
+	writeIterationsSaved(w, f)
 	return nil
+}
+
+// writeIterationsSaved appends the adaptive early-exit summary when any
+// span recorded the attribute; old streams print nothing extra.
+func writeIterationsSaved(w io.Writer, f *Forest) {
+	saved, spans := f.IterationsSaved()
+	if spans == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nadaptive early exit: %d flow iterations saved across %d mitigation span(s)\n", saved, spans)
 }
 
 // WriteFlame prints an indented text flame view of one trace: every span

@@ -262,6 +262,36 @@ func TestHotspotsFallbackAndTop(t *testing.T) {
 	}
 }
 
+func TestIterationsSaved(t *testing.T) {
+	// The wall-time fixture predates the attribute: no spans, no summary.
+	plain := loadFixture(t)
+	if saved, spans := plain.IterationsSaved(); saved != 0 || spans != 0 {
+		t.Fatalf("old stream reports saved=%d spans=%d", saved, spans)
+	}
+	var buf bytes.Buffer
+	if err := WriteHotspots(&buf, plain, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "adaptive early exit") {
+		t.Fatalf("summary printed for a stream without the attribute:\n%s", buf.String())
+	}
+	// The resource fixture's core.mitigate span carries saved=17.
+	forest := loadResourceFixture(t)
+	if saved, spans := forest.IterationsSaved(); saved != 17 || spans != 1 {
+		t.Fatalf("saved=%d spans=%d, want 17/1", saved, spans)
+	}
+	// A fixed-schedule run (attribute present, zero saved) still counts
+	// the span, distinguishing "ran exactly" from "not recorded".
+	stream := `{"name":"core.mitigate","trace":1,"span":1,"start":"2026-01-02T03:04:05Z","duration":1000,"attrs":[{"key":"iterations_saved","value":0}]}` + "\n"
+	fixed, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved, spans := fixed.IterationsSaved(); saved != 0 || spans != 1 {
+		t.Fatalf("fixed schedule saved=%d spans=%d, want 0/1", saved, spans)
+	}
+}
+
 // compareGolden diffs got against the named golden file, rewriting it
 // under -update-golden.
 func compareGolden(t *testing.T, got []byte, goldenPath string) {
