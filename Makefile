@@ -61,9 +61,9 @@ bench-core:
 # probability path, the density-matrix hot loops, and the parallel
 # trajectory sampler. BENCH_sim.json holds the recorded baseline.
 bench-sim:
-	$(GO) test -run '^$$' -bench 'BenchmarkRun$$|BenchmarkRunUnfused$$|BenchmarkNaiveRun$$|BenchmarkProbabilitiesInto$$' -benchmem ./internal/statevector
+	$(GO) test -run '^$$' -bench 'BenchmarkRun$$|BenchmarkRunProgram$$|BenchmarkRunUnfused$$|BenchmarkNaiveRun$$|BenchmarkProbabilitiesInto$$' -benchmem ./internal/statevector
 	$(GO) test -run '^$$' -bench 'BenchmarkDensityEvolve$$' -benchmem ./internal/densitymatrix
-	$(GO) test -run '^$$' -bench 'BenchmarkTrajectory$$' -benchmem ./internal/noise
+	$(GO) test -run '^$$' -bench 'BenchmarkTrajectory$$|BenchmarkTrajectoryPerGate$$' -benchmem ./internal/noise
 
 # bench-gate: the regression gate. cmd/qbeep-bench runs both suites at a
 # short benchtime and recomputes the derived ratio invariants

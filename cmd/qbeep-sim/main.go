@@ -33,6 +33,7 @@ func run() error {
 		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 circuit (required)")
 		backend    = flag.String("backend", "istanbul", "backend name (see qbeep-backends)")
 		shots      = flag.Int("shots", 4096, "shots")
+		batch      = flag.Int("batch", 1, "shot blocks fanned across the worker pool (1 = serial)")
 		seed       = flag.Uint64("seed", 1, "noise RNG seed")
 		ideal      = flag.Bool("ideal", false, "emit the noiseless distribution instead")
 		meta       = flag.Bool("meta", false, "wrap counts in the metadata envelope (backend, shots, lambda)")
@@ -60,7 +61,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sim, err := simulate(string(src), *backend, *shots, *seed)
+	sim, err := simulate(string(src), *backend, *shots, *batch, *seed)
 	// Flush the trace even on failure; its own error surfaces only when
 	// the run otherwise succeeded.
 	if terr := stopTrace(); err == nil {
@@ -111,14 +112,17 @@ func run() error {
 // simulate runs the synthetic induction under the "qbeep.pipeline" root
 // span, so -trace output from qbeep-sim and qbeep share one analyzable
 // shape (parse, transpile, ideal run and induction as children).
-func simulate(src, backend string, shots int, seed uint64) (*qbeep.SimResult, error) {
+func simulate(src, backend string, shots, batch int, seed uint64) (*qbeep.SimResult, error) {
 	ctx, sp := obs.Start(context.Background(), "qbeep.pipeline")
 	defer sp.End()
-	sim, err := qbeep.SimulateCtx(ctx, src, backend, shots, seed)
+	sim, err := qbeep.SimulateBatchedCtx(ctx, src, backend, shots, batch, seed)
 	if err != nil {
 		return nil, err
 	}
 	sp.SetAttr("backend", backend)
 	sp.SetAttr("shots", shots)
+	if batch > 1 {
+		sp.SetAttr("batch", batch)
+	}
 	return sim, nil
 }

@@ -3,6 +3,7 @@ package bitstring
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -124,14 +125,30 @@ func (d *Dist) Prob(v BitString) float64 {
 // Support returns the number of distinct observed outcomes.
 func (d *Dist) Support() int { return len(d.counts) }
 
+// Reset empties the distribution in place, keeping the width and the
+// outcome map's storage so arena-pooled Dists don't re-allocate across
+// batches.
+func (d *Dist) Reset() {
+	clear(d.counts)
+	d.total = 0
+}
+
 // Outcomes returns the observed outcomes sorted ascending. Sorting makes
 // every downstream iteration deterministic.
 func (d *Dist) Outcomes() []BitString {
-	out := make([]BitString, 0, len(d.counts))
+	return d.OutcomesInto(nil)
+}
+
+// OutcomesInto appends the observed outcomes, sorted ascending, to
+// dst[:0] and returns the result — the allocation-free form of Outcomes
+// for callers that keep a scratch slice across merges (slices.Sort
+// avoids sort.Slice's interface boxing).
+func (d *Dist) OutcomesInto(dst []BitString) []BitString {
+	out := dst[:0]
 	for v := range d.counts {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -84,7 +84,7 @@ func Figure6(cfg Config) (*Figure6Result, error) {
 	samples := make([]*ModelDistances, len(tasks))
 	err = par.ForEach(len(tasks), 0, func(i int) error {
 		tk := tasks[i]
-		out, err := runWorkload(tk.w, tk.b, cfg.Shots, cfg.mitigateOptions(), tk.rng, false)
+		out, err := runWorkload(tk.w, tk.b, cfg.Shots, cfg.Batch, cfg.mitigateOptions(), tk.rng, false)
 		if err != nil {
 			return err
 		}

@@ -72,7 +72,7 @@ func Figure10(cfg Config) (*Figure10Result, error) {
 		if err != nil {
 			return err
 		}
-		run, err := exec.Execute(inst.Circuit, cfg.Shots, rngs[i])
+		run, err := execute(exec, inst.Circuit, cfg.Shots, cfg.Batch, rngs[i])
 		if err != nil {
 			return err
 		}

@@ -138,7 +138,7 @@ func rbSweep(count, n int, backends []*device.Backend, cfg Config, rng *mathx.RN
 		if err != nil {
 			return err
 		}
-		run, err := exec.Execute(w.Circuit, cfg.Shots, tasks[i].rng)
+		run, err := execute(exec, w.Circuit, cfg.Shots, cfg.Batch, tasks[i].rng)
 		if err != nil {
 			return err
 		}

@@ -66,7 +66,7 @@ func Figure1(cfg Config) (*Figure1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := runWorkload(w, b, cfg.Shots, cfg.mitigateOptions(), rng, false)
+	out, err := runWorkload(w, b, cfg.Shots, cfg.Batch, cfg.mitigateOptions(), rng, false)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +130,7 @@ func spectrumForBV(n int, backend string, cfg Config, rng *mathx.RNG) (*Spectrum
 	if err != nil {
 		return nil, err
 	}
-	out, err := runWorkload(w, b, cfg.Shots, cfg.mitigateOptions(), rng, false)
+	out, err := runWorkload(w, b, cfg.Shots, cfg.Batch, cfg.mitigateOptions(), rng, false)
 	if err != nil {
 		return nil, err
 	}

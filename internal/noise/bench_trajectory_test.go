@@ -31,3 +31,29 @@ func BenchmarkTrajectory(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTrajectoryPerGate runs the same workload through the retained
+// per-gate oracle (per-shot gate lowering, allocated injection gates):
+// the before side of the trajectory_replay_speedup ratio in
+// BENCH_sim.json.
+func BenchmarkTrajectoryPerGate(b *testing.B) {
+	ts, err := NewTrajectorySampler(testBackend(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := circuit.New("traj-bench", 12).H(0)
+	for q := 0; q+1 < 12; q++ {
+		c.CX(q, q+1)
+	}
+	for q := 0; q < 12; q++ {
+		c.RZ(0.2+0.05*float64(q), q)
+	}
+	c.MeasureAll()
+	rng := mathx.NewRNG(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := samplePerGateOracle(ts, c, 0, 100, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"qbeep/internal/device"
 	"qbeep/internal/mathx"
 	"qbeep/internal/obs"
+	"qbeep/internal/par"
 	"qbeep/internal/statevector"
 	"qbeep/internal/transpile"
 )
@@ -125,47 +126,183 @@ func (e *Executor) ExecuteTranspiledCtx(ctx context.Context, logical *circuit.Ci
 	}, nil
 }
 
+// ExecuteBatch is ExecuteBatchCtx with a background context.
+func (e *Executor) ExecuteBatch(c *circuit.Circuit, shots, blocks int, rng *mathx.RNG) (*Run, error) {
+	return e.ExecuteBatchCtx(context.Background(), c, shots, blocks, rng)
+}
+
+// ExecuteBatchCtx is ExecuteCtx with the shot loop split into blocks and
+// fanned across the shared par pool. Transpilation, the ideal reference
+// run and rate derivation happen once; each block then samples from its
+// own RNG stream keyed by (rng's first Uint64, block index), and block
+// counts merge in block order. Counts are therefore deterministic for a
+// given (seed, blocks) at any worker count — but the stream family
+// differs from the serial ExecuteCtx draw sequence, so batch counts are
+// statistically equivalent to serial counts, not bitwise equal to them.
+// blocks <= 1 falls back to the serial path.
+func (e *Executor) ExecuteBatchCtx(ctx context.Context, c *circuit.Circuit, shots, blocks int, rng *mathx.RNG) (*Run, error) {
+	if blocks <= 1 {
+		return e.ExecuteCtx(ctx, c, shots, rng)
+	}
+	if shots <= 0 {
+		return nil, fmt.Errorf("noise: shots %d must be positive", shots)
+	}
+	if c.N > statevector.MaxQubits {
+		return nil, fmt.Errorf("noise: %d logical qubits exceeds simulator limit %d", c.N, statevector.MaxQubits)
+	}
+	res, err := transpile.TranspileCtx(ctx, c, e.backend, nil)
+	if err != nil {
+		return nil, err
+	}
+	if blocks > shots {
+		blocks = shots
+	}
+
+	ctx, sp := obs.Start(ctx, "noise.execute")
+	defer sp.End()
+	ideal, err := statevector.IdealDistCtx(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := Rates(res, e.backend, e.model)
+	if err != nil {
+		return nil, err
+	}
+	ns := e.newNoisySampler(c, ideal, res, rates)
+	// One base drawn from the caller's generator keys every block stream,
+	// so the whole batch consumes exactly one value of the caller's RNG.
+	base := rng.Uint64()
+	chunk := (shots + blocks - 1) / blocks
+
+	t0 := time.Now() //qbeep:allow-time span/metric timing, not kernel state
+	bctx, bsp := obs.Start(ctx, "sim.batch")
+	locals := make([]*bitstring.Dist, blocks)
+	stats, perr := par.ForEachStatsCtx(bctx, blocks, 0, func(b int) error {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > shots {
+			hi = shots
+		}
+		if lo >= hi {
+			return nil
+		}
+		brng := mathx.NewStream(base, uint64(b))
+		locals[b] = bitstring.NewDist(c.N)
+		ns.sample(hi-lo, brng, locals[b])
+		return nil
+	})
+	occupancy := stats.Utilization()
+	bsp.SetAttr("blocks", blocks)
+	bsp.SetAttr("shots", shots)
+	bsp.SetAttr("occupancy", occupancy)
+	bsp.End()
+	if perr != nil {
+		return nil, perr
+	}
+
+	// Merge in block order: integral counts make the fold exact and the
+	// order canonical regardless of which worker finished first.
+	counts := bitstring.NewDist(c.N)
+	var outs []bitstring.BitString
+	for _, l := range locals {
+		if l == nil {
+			continue
+		}
+		outs = l.OutcomesInto(outs)
+		for _, v := range outs {
+			counts.Add(v, l.Count(v))
+		}
+	}
+
+	elapsed := time.Since(t0) //qbeep:allow-time span/metric timing, not kernel state
+	metExecute.ObserveDuration(elapsed)
+	metShots.Add(int64(shots))
+	if secs := elapsed.Seconds(); secs > 0 {
+		metShotsPerSec.Set(float64(shots) / secs)
+	}
+	metBatchOccupancy.Set(occupancy)
+	sp.SetAttr("circuit", c.Name)
+	sp.SetAttr("shots", shots)
+	sp.SetAttr("blocks", blocks)
+	obs.Logger().Debug("noisy batch induction",
+		"circuit", c.Name, "backend", e.backend.Name,
+		"shots", shots, "blocks", blocks, "elapsed", elapsed)
+	return &Run{
+		Counts:     counts,
+		Ideal:      ideal,
+		Transpiled: res,
+		Rates:      rates,
+		Shots:      shots,
+	}, nil
+}
+
 // sampleNoisy draws shots outcomes: an ideal sample perturbed by flip
 // events from each enabled channel.
 func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 	res *transpile.Result, rates EventRates, shots int, rng *mathx.RNG) *bitstring.Dist {
 
-	n := logical.N
+	ns := e.newNoisySampler(logical, ideal, res, rates)
+	counts := bitstring.NewDist(logical.N)
+	ns.sample(shots, rng, counts)
+	return counts
+}
+
+// noisySampler is the shot loop of the failure-event model with every
+// rate and lookup table precomputed: build once per induction, then
+// sample any number of shot blocks. The precomputed state is read-only
+// during sampling, so distinct blocks may sample concurrently as long
+// as each uses its own RNG and destination Dist.
+type noisySampler struct {
+	model Model
+	n     int
+
 	// Cumulative ideal distribution for sampling.
-	outcomes := ideal.Outcomes()
-	cum := make([]float64, len(outcomes))
-	var acc float64
-	for i, o := range outcomes {
-		acc += ideal.Count(o)
-		cum[i] = acc
-	}
-	sampleIdeal := func() bitstring.BitString {
-		u := rng.Float64() * acc
-		lo, hi := 0, len(cum)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cum[mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		return outcomes[lo]
-	}
+	outcomes []bitstring.BitString
+	cum      []float64
+	acc      float64
 
 	// Per-qubit channel probabilities (logical index -> physical calib).
-	pDecay := make([]float64, n)
-	pDephase := make([]float64, n)
-	pReadout := make([]float64, n)
+	pDecay   []float64
+	pDephase []float64
+	pReadout []float64
+
+	// Pooled gate-error events (see newNoisySampler).
+	gateCum   []float64
+	gateTotal float64
+	gatePois  mathx.Poisson
+
+	walkAdj   [][]int
+	burst     float64
+	burstPois mathx.Poisson
+}
+
+// newNoisySampler precomputes the failure-event model for one induction.
+// It never draws from an RNG, so hoisting it out of the shot loop cannot
+// change any realized stream.
+func (e *Executor) newNoisySampler(logical *circuit.Circuit, ideal *bitstring.Dist,
+	res *transpile.Result, rates EventRates) *noisySampler {
+
+	n := logical.N
+	ns := &noisySampler{model: e.model, n: n, burst: rates.Burst}
+	ns.outcomes = ideal.Outcomes()
+	ns.cum = make([]float64, len(ns.outcomes))
+	for i, o := range ns.outcomes {
+		ns.acc += ideal.Count(o)
+		ns.cum[i] = ns.acc
+	}
+
+	ns.pDecay = make([]float64, n)
+	ns.pDephase = make([]float64, n)
+	ns.pReadout = make([]float64, n)
 	for l := 0; l < n; l++ {
 		p := res.Final[l]
 		q := e.backend.Calibration.Qubits[p]
 		if e.model.Decoherence {
-			pDecay[l] = 1 - expNeg(rates.Duration/q.T1)
-			pDephase[l] = 0.5 * (1 - expNeg(rates.Duration/q.T2))
+			ns.pDecay[l] = 1 - expNeg(rates.Duration/q.T1)
+			ns.pDephase[l] = 0.5 * (1 - expNeg(rates.Duration/q.T2))
 		}
 		if e.model.Readout {
-			pReadout[l] = q.ReadoutError
+			ns.pReadout[l] = q.ReadoutError
 		}
 	}
 
@@ -207,84 +344,106 @@ func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 		}
 	}
 
-	walkAdj := activeTwoQubitGraph(logical)
-	burstPois := mathx.Poisson{Lambda: rates.Burst}
+	ns.walkAdj = activeTwoQubitGraph(logical)
+	ns.burstPois = mathx.Poisson{Lambda: rates.Burst}
 
 	// Gate-error events are pooled into a Poisson stream (the paper's §3.2
 	// generative model: independent failure events with a stable rate):
 	// K ~ Poisson(Σ gateWeight) flips per shot, each landing on a qubit
 	// drawn proportionally to its share of the gate-error budget.
-	var gateTotal float64
-	gateCum := make([]float64, n)
+	ns.gateCum = make([]float64, n)
 	for l := 0; l < n; l++ {
-		gateTotal += gateWeight[l]
-		gateCum[l] = gateTotal
+		ns.gateTotal += gateWeight[l]
+		ns.gateCum[l] = ns.gateTotal
 	}
-	gatePois := mathx.Poisson{Lambda: gateTotal}
-	sampleGateQubit := func() int {
-		u := rng.Float64() * gateTotal
-		lo, hi := 0, n-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if gateCum[mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		return lo
-	}
+	ns.gatePois = mathx.Poisson{Lambda: ns.gateTotal}
+	return ns
+}
 
-	counts := bitstring.NewDist(n)
+// sampleIdeal draws one outcome from the cumulative ideal distribution.
+func (ns *noisySampler) sampleIdeal(rng *mathx.RNG) bitstring.BitString {
+	u := rng.Float64() * ns.acc
+	lo, hi := 0, len(ns.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return ns.outcomes[lo]
+}
+
+// sampleGateQubit draws the landing qubit of one pooled gate-error event.
+func (ns *noisySampler) sampleGateQubit(rng *mathx.RNG) int {
+	u := rng.Float64() * ns.gateTotal
+	lo, hi := 0, ns.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns.gateCum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sample draws shots outcomes from rng into counts. The draw sequence is
+// identical to the seed's inline loop: hoisting the precompute consumed
+// no RNG values, so golden distributions are unchanged.
+func (ns *noisySampler) sample(shots int, rng *mathx.RNG, counts *bitstring.Dist) {
+	n := ns.n
 	// Burst tallies accumulate locally and flush to the registry once per
-	// induction, keeping the per-shot loop free of shared-memory traffic.
+	// block, keeping the per-shot loop free of shared-memory traffic.
 	var burstEvents, burstFlips int64
 	for s := 0; s < shots; s++ {
-		v := sampleIdeal()
+		v := ns.sampleIdeal(rng)
 		// Per-shot drift of device conditions (non-Markovian, §3.1): one
 		// mean-normalized log-normal factor scales every time-dependent
 		// channel this shot. Readout is excluded — it is a separate,
 		// stable classifier error.
 		drift := 1.0
-		if e.model.RateJitter > 0 {
-			sg := e.model.RateJitter
+		if ns.model.RateJitter > 0 {
+			sg := ns.model.RateJitter
 			drift = math.Exp(sg*rng.NormFloat64() - sg*sg/2)
 		}
-		if gateTotal > 0 {
-			pois := gatePois
+		if ns.gateTotal > 0 {
+			pois := ns.gatePois
 			if drift != 1 { //qbeep:allow-floatcmp drift is exactly 1.0 when jitter is disabled (sentinel)
-				pois = mathx.Poisson{Lambda: gateTotal * drift}
+				pois = mathx.Poisson{Lambda: ns.gateTotal * drift}
 			}
 			k := pois.Sample(rng.Float64)
 			for i := 0; i < k; i++ {
-				v = v.FlipBit(sampleGateQubit())
+				v = v.FlipBit(ns.sampleGateQubit(rng))
 			}
 		}
 		// Decoherence.
 		for l := 0; l < n; l++ {
-			if pDecay[l] > 0 && v.Bit(l) == 1 && rng.Float64() < min1(pDecay[l]*drift) {
+			if ns.pDecay[l] > 0 && v.Bit(l) == 1 && rng.Float64() < min1(ns.pDecay[l]*drift) {
 				v = v.SetBit(l, 0) // T1 decay is directional
 			}
-			if pDephase[l] > 0 && rng.Float64() < min1(pDephase[l]*drift) {
+			if ns.pDephase[l] > 0 && rng.Float64() < min1(ns.pDephase[l]*drift) {
 				v = v.FlipBit(l)
 			}
 		}
 		// Correlated burst: K ~ Poisson(λ_burst) flips, spread along a
 		// random walk over the circuit's interaction graph (or uniformly).
-		if rates.Burst > 0 {
-			pois := burstPois
+		if ns.burst > 0 {
+			pois := ns.burstPois
 			if drift != 1 { //qbeep:allow-floatcmp drift is exactly 1.0 when jitter is disabled (sentinel)
-				pois = mathx.Poisson{Lambda: rates.Burst * drift}
+				pois = mathx.Poisson{Lambda: ns.burst * drift}
 			}
 			k := pois.Sample(rng.Float64)
 			if k > 0 {
 				burstEvents++
 				burstFlips += int64(k)
-				if e.model.BurstWalk {
+				if ns.model.BurstWalk {
 					q := rng.Intn(n)
 					for i := 0; i < k; i++ {
 						v = v.FlipBit(q)
-						if nb := walkAdj[q]; len(nb) > 0 && rng.Float64() < 0.8 {
+						if nb := ns.walkAdj[q]; len(nb) > 0 && rng.Float64() < 0.8 {
 							q = nb[rng.Intn(len(nb))]
 						} else {
 							q = rng.Intn(n)
@@ -299,7 +458,7 @@ func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 		}
 		// Readout flips.
 		for l := 0; l < n; l++ {
-			if pReadout[l] > 0 && rng.Float64() < pReadout[l] {
+			if ns.pReadout[l] > 0 && rng.Float64() < ns.pReadout[l] {
 				v = v.FlipBit(l)
 			}
 		}
@@ -309,7 +468,6 @@ func (e *Executor) sampleNoisy(logical *circuit.Circuit, ideal *bitstring.Dist,
 		metBurstEvents.Add(burstEvents)
 		metBurstFlips.Add(burstFlips)
 	}
-	return counts
 }
 
 func min1(v float64) float64 {

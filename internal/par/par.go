@@ -7,6 +7,7 @@ package par
 
 import (
 	"context"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -211,10 +212,14 @@ func ForEachStatsCtx(ctx context.Context, n, workers int, fn func(i int) error) 
 	metWorkerBusyMin.Set(busyMin)
 	metWorkerBusyAvg.Set(busyMean)
 	metWorkerBusyMax.Set(busyMax)
-	obs.Logger().Debug("parallel batch done",
-		"tasks", n, "workers", workers, "elapsed", stats.Elapsed,
-		"utilization", stats.Utilization(), "worker_busy_min", busyMin,
-		"worker_busy_max", busyMax, "first_err_index", stats.FirstErr)
+	// Enabled-gated: the variadic args box on every call otherwise, which
+	// alone would break the trajectory sampler's steady-state alloc pin.
+	if l := obs.Logger(); l.Enabled(ctx, slog.LevelDebug) {
+		l.Debug("parallel batch done",
+			"tasks", n, "workers", workers, "elapsed", stats.Elapsed,
+			"utilization", stats.Utilization(), "worker_busy_min", busyMin,
+			"worker_busy_max", busyMax, "first_err_index", stats.FirstErr)
+	}
 	return stats, first
 }
 

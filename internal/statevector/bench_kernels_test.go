@@ -43,6 +43,31 @@ func BenchmarkRun(b *testing.B) {
 	}
 }
 
+// BenchmarkRunProgram is the replay hot path: the same circuit compiled
+// once and replayed onto a pooled state — what one trajectory shot costs
+// without its per-call compile. Its allocs/op is the
+// run_program_allocs_steady benchparse ceiling.
+func BenchmarkRunProgram(b *testing.B) {
+	c := qaoaCircuit(14, 3)
+	p, err := Compile(c, RunConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewBasis(c.N, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reset(0); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunProgram(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunUnfused isolates the pair-stride kernels from fusion.
 func BenchmarkRunUnfused(b *testing.B) {
 	c := qaoaCircuit(14, 3)

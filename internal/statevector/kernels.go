@@ -494,6 +494,11 @@ func (s *State) resolveWorkers(space int) int {
 // applyOp runs one kernel, sharded across workers above the threshold.
 // Shards are contiguous ranges of the compressed index space, so no two
 // shards ever touch the same amplitude.
+//
+// The sharded branch lives in applyOpPar: its fan-out closure captures
+// the op, and were it written inline, escape analysis would move the op
+// parameter to the heap for *every* call — one allocation per gate on
+// the serial path that the trajectory sampler's zero-alloc pin forbids.
 func (s *State) applyOp(o op) {
 	if o.kind == opNoop {
 		return
@@ -504,6 +509,13 @@ func (s *State) applyOp(o op) {
 		s.opRange(o, 0, space)
 		return
 	}
+	s.applyOpPar(o, space, w)
+}
+
+// applyOpPar shards one kernel across w workers.
+//
+//go:noinline
+func (s *State) applyOpPar(o op, space, w int) {
 	chunk := (space + w - 1) / w
 	// Kernel shards cannot fail; ForEach's error slot stays nil. The
 	// state's run context (if any) parents the shard worker spans.

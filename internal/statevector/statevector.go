@@ -322,6 +322,10 @@ type RunConfig struct {
 	// its own kernel (bit-identical to the naiveApply oracle). The fused
 	// default matches the oracle within 1e-12 per amplitude.
 	NoFuse bool
+	// TileBits enables cache-blocked replay (see RunProgramTiled):
+	// positive values set the tile width in qubits, zero disables
+	// tiling. Output is bitwise identical for every value.
+	TileBits int
 }
 
 // Run applies every gate of the circuit to a fresh |0...0⟩ state and
@@ -355,22 +359,24 @@ func RunConfiguredCtx(ctx context.Context, c *circuit.Circuit, init bitstring.Bi
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
+	p, err := Compile(c, cfg)
+	if err != nil {
+		return nil, err
+	}
 	s, err := NewBasis(c.N, init)
 	if err != nil {
 		return nil, err
 	}
 	s.SetWorkers(cfg.Workers)
-	ops, err := compileOps(c.N, c.Gates, !cfg.NoFuse)
-	if err != nil {
-		return nil, err
-	}
 	runCtx, sp := obs.Start(ctx, "sim.run")
 	s.ctx = runCtx
 	t0 := time.Now() //qbeep:allow-time span/metric timing, not kernel state
-	for _, o := range ops {
-		s.applyOp(o)
-	}
+	err = s.RunProgramTiled(p, cfg.TileBits)
 	s.ctx = nil
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	elapsed := time.Since(t0) //qbeep:allow-time span/metric timing, not kernel state
 	metRun.ObserveDuration(elapsed)
 	metRuns.Inc()
@@ -379,7 +385,7 @@ func RunConfiguredCtx(ctx context.Context, c *circuit.Circuit, init bitstring.Bi
 	sp.SetAttr("circuit", c.Name)
 	sp.SetAttr("width", c.N)
 	sp.SetAttr("gates", len(c.Gates))
-	sp.SetAttr("ops", len(ops))
+	sp.SetAttr("ops", p.Ops())
 	sp.End()
 	return s, nil
 }
