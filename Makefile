@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke bench-core bench-sim bench-gate bench-record fuzz-smoke obs-smoke ci
+.PHONY: all build vet lint gcfacts test race bench-smoke bench-core bench-sim bench-gate bench-record fuzz-smoke obs-smoke ci
 
 # Extra worker counts the determinism tests sweep on top of their
 # built-in {1, 4, GOMAXPROCS} matrix. Comma-separated. The matrix
@@ -25,11 +25,22 @@ vet:
 		echo "gofmt needed on:"; echo "$$files"; exit 1; \
 	fi
 
-# lint = the qbeep-lint multichecker (internal/analysis, DESIGN.md §9):
-# nodeterm, nogo, spanend, floatcmp over every package. Exits non-zero
-# on any finding; suppress deliberate sites with //qbeep:allow-<check>.
+# lint = the qbeep-lint multichecker (internal/analysis, DESIGN.md §9)
+# plus the gcfacts compiler-fact gate (DESIGN.md §15): nodeterm, nogo,
+# spanend, floatcmp, ctxflow, poolsafe, directive over every package,
+# then escape/inline fact enforcement for //qbeep:allocfree /
+# //qbeep:noescape / //qbeep:mustinline annotations. Exits non-zero on
+# any finding; suppress deliberate sites with //qbeep:allow-<check>.
+# Wall time is printed so lint-cost regressions show up in CI logs.
 lint:
-	$(GO) run ./cmd/qbeep-lint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/qbeep-lint ./... || exit 1; \
+	echo "lint: $$(( $$(date +%s) - start ))s"
+
+# gcfacts alone (the compile-heavy half of lint): used by the standalone
+# CI job that is required on main but warn-only on pull requests.
+gcfacts:
+	$(GO) run ./cmd/qbeep-lint -only gcfacts ./...
 
 test:
 	$(GO) test ./...
@@ -88,6 +99,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/qasm
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQASM$$' -fuzztime 5s ./internal/qasm
 	$(GO) test -run '^$$' -fuzz '^FuzzDistFromCounts$$' -fuzztime 5s ./internal/bitstring
+	$(GO) test -run '^$$' -fuzz '^FuzzCompileReplay$$' -fuzztime 5s ./internal/statevector
 
 # obs-smoke: end-to-end observability check. The built qbeep-trace
 # analyzes the golden pipeline fixture (aggregate table, critical path,

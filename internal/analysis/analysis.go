@@ -59,26 +59,71 @@ type Pass struct {
 	Info     *types.Info
 
 	diags      []Diagnostic
-	directives map[string]map[int]map[string]bool // file -> line -> allowed keys
+	directives DirectiveIndex
 }
 
 // NewPass assembles a Pass for one package. Directive comments are
 // indexed up front so Report can consult them in O(1).
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
 	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
-	p.directives = indexDirectives(fset, files)
+	p.directives = IndexDirectives(fset, files)
 	return p
 }
 
 // DirectivePrefix is the comment prefix of the suppression grammar.
 const DirectivePrefix = "//qbeep:allow-"
 
-// indexDirectives scans every comment in files for //qbeep:allow-<key>
+// AllowKeys is the registry of every suppression category the suite can
+// emit — the legal <check> values in //qbeep:allow-<check>. The
+// directive analyzer rejects keys outside this set, so a typo'd
+// suppression is a lint failure instead of a silent no-op. Adding a
+// category to an analyzer means adding it here.
+var AllowKeys = map[string]bool{
+	// floatcmp
+	"floatcmp": true,
+	// nodeterm
+	"rand": true, "time": true, "maprange": true,
+	// nogo
+	"go": true, "waitgroup": true,
+	// spanend
+	"spanleak": true,
+	// ctxflow
+	"ctx": true,
+	// poolsafe
+	"poolretain": true, "poolreset": true,
+	// gcfacts
+	"allocfree": true, "noescape": true, "mustinline": true,
+	// directive (the grammar checker itself)
+	"directive": true,
+}
+
+// FactVerbs is the registry of the non-suppression //qbeep: directives:
+// the compiler-fact annotations enforced by gcfacts plus the ownership
+// marker consumed by poolsafe. Like AllowKeys, membership here is what
+// makes a directive legal to the grammar checker.
+var FactVerbs = map[string]bool{
+	// gcfacts: function performs no heap allocation on any path
+	// (frame-local: diagnostics attributed to its own source lines).
+	"allocfree": true,
+	// gcfacts: the named parameter must not escape or leak.
+	"noescape": true,
+	// gcfacts: the function must stay within the inlining budget.
+	"mustinline": true,
+	// poolsafe: the type is a pooled/arena scratch whose fields must not
+	// be retained past return or sent across goroutine boundaries.
+	"pooled": true,
+}
+
+// A DirectiveIndex records which //qbeep:allow-<key> suppressions are
+// active on which lines of which files.
+type DirectiveIndex map[string]map[int]map[string]bool
+
+// IndexDirectives scans every comment in files for //qbeep:allow-<key>
 // directives and records which keys are active on which lines. A
 // directive on line L covers both L (trailing placement) and L+1
 // (standalone comment above the flagged statement).
-func indexDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	idx := make(map[string]map[int]map[string]bool)
+func IndexDirectives(fset *token.FileSet, files []*ast.File) DirectiveIndex {
+	idx := make(DirectiveIndex)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -114,15 +159,20 @@ func indexDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]
 	return idx
 }
 
-// Suppressed reports whether a diagnostic of category key at pos is
-// silenced by an //qbeep:allow-<key> directive.
-func (p *Pass) Suppressed(pos token.Pos, key string) bool {
-	position := p.Fset.Position(pos)
-	byLine := p.directives[position.Filename]
+// Allowed reports whether an //qbeep:allow-<key> directive covers the
+// given file position.
+func (idx DirectiveIndex) Allowed(position token.Position, key string) bool {
+	byLine := idx[position.Filename]
 	if byLine == nil {
 		return false
 	}
 	return byLine[position.Line][key]
+}
+
+// Suppressed reports whether a diagnostic of category key at pos is
+// silenced by an //qbeep:allow-<key> directive.
+func (p *Pass) Suppressed(pos token.Pos, key string) bool {
+	return p.directives.Allowed(p.Fset.Position(pos), key)
 }
 
 // Report records a diagnostic of the given category unless a directive

@@ -1,0 +1,11 @@
+// Package main is the process edge: minting roots here is the whole
+// point, so ctxflow stays silent.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	_ = context.TODO()
+}

@@ -1,0 +1,153 @@
+// Package directive is the grammar checker for the //qbeep: comment
+// namespace itself. Every other checker consumes these comments
+// permissively — an unknown verb or a typo'd suppression key is simply
+// ignored — which turns a misspelling like //qbeep:allocsfree or
+// //qbeep:allow-flotcmp into a silently unenforced invariant. This
+// analyzer closes that hole:
+//
+//   - //qbeep:allow-<key> must use a key from analysis.AllowKeys and
+//     must carry a rationale (the directive is an audited escape hatch,
+//     DESIGN.md §9; a nested "//" does not count as one).
+//   - any other //qbeep:<verb> must be a registered fact verb
+//     (analysis.FactVerbs) and must sit where its consumer looks for
+//     it: allocfree/noescape/mustinline in a function's doc comment,
+//     pooled in a type declaration's doc comment.
+//
+// Findings carry category "directive"; //qbeep:allow-directive exists
+// for the pathological case of discussing a directive in prose.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"qbeep/internal/analysis"
+)
+
+// Analyzer is the directive grammar checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc: "every //qbeep: comment must use a registered verb or allow-key and sit where its " +
+		"consumer looks for it, so a typo cannot silently disable an invariant",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		funcDoc, typeDoc := docComments(file)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				checkComment(pass, c, funcDoc, typeDoc)
+			}
+		}
+	}
+	return nil
+}
+
+// docComments indexes which comments belong to function doc groups and
+// which to type declaration doc groups.
+func docComments(file *ast.File) (funcDoc, typeDoc map[*ast.Comment]bool) {
+	funcDoc = make(map[*ast.Comment]bool)
+	typeDoc = make(map[*ast.Comment]bool)
+	add := func(cg *ast.CommentGroup, into map[*ast.Comment]bool) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			into[c] = true
+		}
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			add(d.Doc, funcDoc)
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			add(d.Doc, typeDoc)
+			for _, spec := range d.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok {
+					add(ts.Doc, typeDoc)
+				}
+			}
+		}
+	}
+	return funcDoc, typeDoc
+}
+
+func checkComment(pass *analysis.Pass, c *ast.Comment, funcDoc, typeDoc map[*ast.Comment]bool) {
+	const prefix = "//qbeep:"
+	if !strings.HasPrefix(c.Text, prefix) {
+		return
+	}
+	rest := strings.TrimPrefix(c.Text, prefix)
+	if strings.HasPrefix(rest, "allow-") {
+		checkAllow(pass, c, strings.TrimPrefix(rest, "allow-"))
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		pass.Report(c.Pos(), "directive", "empty //qbeep: directive")
+		return
+	}
+	verb := fields[0]
+	if !analysis.FactVerbs[verb] {
+		pass.Report(c.Pos(), "directive",
+			"unknown //qbeep: directive %q: registered verbs are %s (and //qbeep:allow-<key> for suppressions)",
+			verb, registered(analysis.FactVerbs))
+		return
+	}
+	switch verb {
+	case "pooled":
+		if !typeDoc[c] {
+			pass.Report(c.Pos(), "directive",
+				"//qbeep:pooled must be in a type declaration's doc comment; here poolsafe never sees it")
+		}
+	default: // allocfree, noescape, mustinline
+		if !funcDoc[c] {
+			pass.Report(c.Pos(), "directive",
+				"//qbeep:%s must be in a function's doc comment; here the gcfacts gate never sees it", verb)
+		}
+	}
+}
+
+// checkAllow validates one //qbeep:allow-<key> suppression.
+func checkAllow(pass *analysis.Pass, c *ast.Comment, rest string) {
+	key := rest
+	rationale := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		key, rationale = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if key == "" {
+		pass.Report(c.Pos(), "directive", "//qbeep:allow- with no key")
+		return
+	}
+	if !analysis.AllowKeys[key] {
+		pass.Report(c.Pos(), "directive",
+			"unknown suppression key %q in //qbeep:allow-%s: registered keys are %s",
+			key, key, registered(analysis.AllowKeys))
+		return
+	}
+	// A nested comment marker is not a rationale (it is how the test
+	// harness embeds expectations).
+	if i := strings.Index(rationale, "//"); i >= 0 {
+		rationale = strings.TrimSpace(rationale[:i])
+	}
+	if rationale == "" {
+		pass.Report(c.Pos(), "directive",
+			"//qbeep:allow-%s without a rationale: suppressions are audited escape hatches, say why (DESIGN.md §9)", key)
+	}
+}
+
+// registered renders a sorted, comma-separated registry for messages.
+func registered(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

@@ -1,0 +1,12 @@
+package directive_test
+
+import (
+	"testing"
+
+	"qbeep/internal/analysis/analysistest"
+	"qbeep/internal/analysis/directive"
+)
+
+func TestDirective(t *testing.T) {
+	analysistest.Run(t, directive.Analyzer, "a")
+}

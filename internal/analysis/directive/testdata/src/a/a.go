@@ -1,0 +1,51 @@
+// Package a exercises the //qbeep: grammar checker: unknown verbs,
+// unknown suppression keys, missing rationales, and misplaced fact
+// directives are flagged; well-formed directives pass.
+package a
+
+// good is a correctly annotated function.
+//
+//qbeep:allocfree
+//qbeep:mustinline
+//qbeep:noescape p
+func good(p *int) int { return *p }
+
+// scratch is a correctly marked pooled type.
+//
+//qbeep:pooled
+type scratch struct {
+	buf []byte
+}
+
+// typoVerb carries a misspelled fact verb that gcfacts would ignore.
+//
+//qbeep:allocsfree // want `unknown //qbeep: directive "allocsfree"`
+func typoVerb() {}
+
+// misplacedPooled puts the type marker on a function.
+//
+//qbeep:pooled // want `//qbeep:pooled must be in a type declaration's doc comment`
+func misplacedPooled() {}
+
+// bodyDirective floats a fact verb inside a body where no consumer
+// looks.
+func bodyDirective() {
+	//qbeep:mustinline // want `//qbeep:mustinline must be in a function's doc comment`
+	_ = 1
+}
+
+// varDirective hangs allocfree on a var declaration.
+//
+//qbeep:allocfree // want `//qbeep:allocfree must be in a function's doc comment`
+var sink int
+
+func suppressions() int {
+	x := 1 //qbeep:allow-floatcmp fixture: well-formed suppression
+	y := 2 //qbeep:allow-flotcmp fixture rationale // want `unknown suppression key "flotcmp"`
+	z := 3 //qbeep:allow-rand // want `//qbeep:allow-rand without a rationale`
+	return x + y + z + sink
+}
+
+// prose mentions qbeep in ordinary text without the directive prefix —
+// no finding, the grammar only owns the //qbeep: namespace.
+func prose() {}

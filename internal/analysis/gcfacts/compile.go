@@ -1,0 +1,223 @@
+package gcfacts
+
+// Compiler invocation and -m=2 diagnostic parsing.
+//
+// The gate shells out to `go tool compile` directly instead of `go build
+// -gcflags=-m=2`: the go command caches compiles keyed by flags, so a
+// second identical build emits no diagnostics at all and the gate would
+// flip between "checked" and "vacuously silent" depending on cache
+// temperature. Driving the compiler ourselves makes every run emit the
+// full fact stream, deterministically, at the cost of one extra compile
+// per directive-bearing package (the object file goes to a temp dir and
+// is discarded).
+//
+// Imports resolve through an importcfg assembled from `go list -export
+// -deps` (see internal/analysis.List) — the same offline loading
+// strategy as the AST analyzers, so the gate needs no module proxy and
+// no GOPATH writes beyond the ordinary build cache.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qbeep/internal/analysis"
+)
+
+// A diag is one parsed compiler diagnostic.
+type diag struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// writeImportcfg materializes the import-path → export-file table as a
+// compiler importcfg. One file serves every target package: entries for
+// packages a target does not import are ignored by the compiler.
+func writeImportcfg(dir string, exports map[string]string) (string, error) {
+	paths := make([]string, 0, len(exports))
+	for p := range exports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "packagefile %s=%s\n", p, exports[p])
+	}
+	cfg := filepath.Join(dir, "importcfg")
+	if err := os.WriteFile(cfg, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return cfg, nil
+}
+
+// compilePackage compiles one package with escape-analysis and inlining
+// diagnostics enabled and returns the parsed diagnostic stream. srcDir
+// is the directory holding the GoFiles; importPath names the package to
+// the compiler (it must match how dependents import it, but for a leaf
+// check any stable name works).
+func compilePackage(srcDir, importPath string, goFiles []string, importcfg, tmpDir string) ([]diag, error) {
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("gcfacts: package %s has no Go files", importPath)
+	}
+	obj := filepath.Join(tmpDir, strings.ReplaceAll(importPath, "/", "_")+".o")
+	args := []string{"tool", "compile", "-p", importPath, "-importcfg", importcfg, "-m=2", "-o", obj}
+	args = append(args, goFiles...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = srcDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// Compile errors (as opposed to diagnostics) mean the gate cannot
+		// certify anything: surface them verbatim.
+		return nil, fmt.Errorf("gcfacts: compiling %s: %v\n%s", importPath, err, out)
+	}
+	return parseDiags(string(out)), nil
+}
+
+// parseDiags splits raw -m=2 output into diagnostics. Lines are
+// "file:line:col: message"; messages starting with whitespace are the
+// indented flow traces of the preceding escape diagnostic and carry no
+// new facts, so they are dropped, as are exact duplicates (the verbose
+// stream repeats several messages once with and once without a trailing
+// colon).
+func parseDiags(out string) []diag {
+	var diags []diag
+	seen := make(map[diag]bool)
+	for _, line := range strings.Split(out, "\n") {
+		d, ok := parseDiagLine(line)
+		if !ok {
+			continue
+		}
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// parseDiagLine parses one "file:line:col: message" diagnostic. Flow
+// traces (indented messages) and non-diagnostic output are rejected.
+func parseDiagLine(line string) (diag, bool) {
+	if line == "" {
+		return diag{}, false
+	}
+	// Split off "file:line:col: " — scan for ": " separators from the
+	// left so Windows-style or relative paths with colons elsewhere don't
+	// confuse the parse (positions are always numeric).
+	rest := line
+	ci := strings.Index(rest, ": ")
+	if ci < 0 {
+		return diag{}, false
+	}
+	posPart, msg := rest[:ci], rest[ci+2:]
+	if msg == "" || msg[0] == ' ' || msg[0] == '\t' {
+		return diag{}, false // flow trace detail
+	}
+	segs := strings.Split(posPart, ":")
+	if len(segs) < 3 {
+		return diag{}, false
+	}
+	col, err := strconv.Atoi(segs[len(segs)-1])
+	if err != nil {
+		return diag{}, false
+	}
+	lineNo, err := strconv.Atoi(segs[len(segs)-2])
+	if err != nil {
+		return diag{}, false
+	}
+	file := strings.Join(segs[:len(segs)-2], ":")
+	// The verbose stream emits "x escapes to heap:" (with flow trace) and
+	// "x escapes to heap" (summary); normalize to the bare form.
+	msg = strings.TrimSuffix(msg, ":")
+	return diag{file: file, line: lineNo, col: col, msg: msg}, true
+}
+
+// facts is the per-package fact database distilled from the diagnostic
+// stream.
+type facts struct {
+	// canInline / cannotInline key by the "file:line" of the function
+	// declaration (the compiler reports inlinability at the decl name
+	// position). Values carry the compiler's own phrasing for diagnostics.
+	canInline    map[string]string
+	cannotInline map[string]string
+	// heapEscapes are "moved to heap: x" / "<expr> escapes to heap"
+	// events — the per-frame allocation facts.
+	heapEscapes []diag
+	// paramLeaks are "leaking param: x" / "leaking param content: x"
+	// events, positioned at the parameter.
+	paramLeaks []paramLeak
+}
+
+type paramLeak struct {
+	d     diag
+	name  string
+	what  string // "leaking param" or "leaking param content"
+	moved bool   // "moved to heap" (address escapes) rather than a leak
+}
+
+// lineKey renders the file:line fact-database key.
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// buildFacts classifies the diagnostic stream.
+func buildFacts(diags []diag) *facts {
+	f := &facts{
+		canInline:    make(map[string]string),
+		cannotInline: make(map[string]string),
+	}
+	for _, d := range diags {
+		msg := d.msg
+		switch {
+		case strings.HasPrefix(msg, "can inline "):
+			name := strings.TrimPrefix(msg, "can inline ")
+			if i := strings.Index(name, " with cost "); i >= 0 {
+				name = name[:i]
+			}
+			f.canInline[lineKey(d.file, d.line)] = name
+		case strings.HasPrefix(msg, "cannot inline "):
+			f.cannotInline[lineKey(d.file, d.line)] = strings.TrimPrefix(msg, "cannot inline ")
+		case strings.HasPrefix(msg, "moved to heap: "):
+			f.heapEscapes = append(f.heapEscapes, d)
+			f.paramLeaks = append(f.paramLeaks, paramLeak{
+				d: d, name: strings.TrimPrefix(msg, "moved to heap: "), what: "moved to heap", moved: true,
+			})
+		case strings.HasSuffix(msg, " escapes to heap"):
+			// A string literal boxed into an interface (panic("...") and
+			// friends) is backed by static read-only data — the compiler
+			// reports the escape, but no runtime allocation happens, so it
+			// does not break an allocfree fact.
+			if strings.HasPrefix(msg, `"`) {
+				break
+			}
+			f.heapEscapes = append(f.heapEscapes, d)
+		case strings.HasPrefix(msg, "leaking param: "):
+			f.paramLeaks = append(f.paramLeaks, paramLeak{
+				d: d, name: strings.TrimPrefix(msg, "leaking param: "), what: "leaking param",
+			})
+		case strings.HasPrefix(msg, "leaking param content: "):
+			f.paramLeaks = append(f.paramLeaks, paramLeak{
+				d: d, name: strings.TrimPrefix(msg, "leaking param content: "), what: "leaking param content",
+			})
+		}
+	}
+	return f
+}
+
+// exportTable extracts the import-path → export-file map from a listing.
+func exportTable(listed []*analysis.ListedPackage) map[string]string {
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports
+}

@@ -1,0 +1,175 @@
+package gcfacts
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// modDir is the module root — fixture compiles resolve their stdlib
+// imports through export data listed from here.
+func modDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runFixture(t *testing.T, pkg string, imports []string) []string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fixture sources in %s: %v", dir, err)
+	}
+	goFiles := make([]string, len(matches))
+	for i, m := range matches {
+		goFiles[i] = filepath.Base(m)
+	}
+	findings, err := CheckDir(io.Discard, dir, pkg, goFiles, modDir(t), imports)
+	if err != nil {
+		t.Fatalf("CheckDir(%s): %v", pkg, err)
+	}
+	msgs := make([]string, 0, len(findings))
+	for _, f := range findings {
+		msgs = append(msgs, f.Message)
+	}
+	return msgs
+}
+
+// TestApplyOpSplitRevertFailsGate is the acceptance test for the PR 8
+// applyOp/applyOpPar split: the merged fixture (parallel closure inline
+// in the //qbeep:allocfree function, the pre-split shape) must fail the
+// gate with an escape diagnostic, and the split fixture must pass.
+func TestApplyOpSplitRevertFailsGate(t *testing.T) {
+	merged := runFixture(t, "applyop_merged", []string{"sync"})
+	if len(merged) == 0 {
+		t.Fatalf("merged applyOp fixture: gate reported no findings; reverting the applyOpPar split would pass lint")
+	}
+	found := false
+	for _, m := range merged {
+		if strings.Contains(m, "allocfree") && strings.Contains(m, "escapes to heap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("merged fixture findings lack an allocfree escape diagnostic:\n%s", strings.Join(merged, "\n"))
+	}
+
+	split := runFixture(t, "applyop_split", []string{"sync"})
+	if len(split) != 0 {
+		t.Errorf("split applyOp fixture should pass the gate, got:\n%s", strings.Join(split, "\n"))
+	}
+}
+
+// TestDirectiveMatrix walks every directive through its pass, fail,
+// malformed, and suppressed paths against the facts fixture.
+func TestDirectiveMatrix(t *testing.T) {
+	msgs := runFixture(t, "facts", nil)
+	joined := strings.Join(msgs, "\n")
+
+	wants := []struct{ name, substr string }{
+		{"mustinline failure", "bigNoinline is marked //qbeep:mustinline"},
+		{"mustinline reason", "marked go:noinline"},
+		{"noescape failure", "stores is marked //qbeep:noescape p"},
+		{"noescape leak message", "leaking param: p"},
+		{"allocfree failure", "escapesLocal is marked //qbeep:allocfree"},
+		{"allocfree moved message", "moved to heap: x"},
+		{"missing param name", "missingName has //qbeep:noescape with no parameter name"},
+		{"unknown param", `wrongName has //qbeep:noescape q but declares no parameter "q"`},
+	}
+	for _, w := range wants {
+		if !strings.Contains(joined, w.substr) {
+			t.Errorf("missing %s (%q) in findings:\n%s", w.name, w.substr, joined)
+		}
+	}
+
+	rejects := []struct{ name, substr string }{
+		{"mustinline pass flagged", "add is marked"},
+		{"noescape pass flagged", "reads is marked"},
+		{"allocfree pass flagged", "sums is marked"},
+		{"suppression ignored", "suppressed is marked"},
+	}
+	for _, r := range rejects {
+		if strings.Contains(joined, r.substr) {
+			t.Errorf("unexpected %s in findings:\n%s", r.name, joined)
+		}
+	}
+}
+
+// TestCheckRealTree runs the gate over the annotated repo packages —
+// the same invocation `make lint` performs — and requires it to come
+// back clean. This is the test that pins every //qbeep:allocfree /
+// noescape / mustinline fact in the hot paths against the live
+// toolchain.
+func TestCheckRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles annotated packages; skipped in -short")
+	}
+	var out strings.Builder
+	findings, err := Check(&out, modDir(t), "./...")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("gate reported findings on the annotated tree:\n%s", out.String())
+	}
+}
+
+func TestParseDiagLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		ok   bool
+		file string
+		line int
+		msg  string
+	}{
+		{"/x/k.go:518:28: moved to heap: o", true, "/x/k.go", 518, "moved to heap: o"},
+		{"/x/k.go:5:2: s escapes to heap:", true, "/x/k.go", 5, "s escapes to heap"},
+		{"/x/k.go:5:2:   flow: {heap} = &s:", false, "", 0, ""},
+		{"# qbeep/internal/statevector", false, "", 0, ""},
+		{"", false, "", 0, ""},
+		{"/x/k.go:12:6: can inline add with cost 4 as: func(int, int) int { return a + b }", true, "/x/k.go", 12, "can inline add with cost 4 as: func(int, int) int { return a + b }"},
+	}
+	for _, c := range cases {
+		d, ok := parseDiagLine(c.in)
+		if ok != c.ok {
+			t.Errorf("parseDiagLine(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.file != c.file || d.line != c.line || d.msg != c.msg {
+			t.Errorf("parseDiagLine(%q) = %+v, want file=%s line=%d msg=%q", c.in, d, c.file, c.line, c.msg)
+		}
+	}
+}
+
+func TestBuildFacts(t *testing.T) {
+	f := buildFacts([]diag{
+		{file: "f.go", line: 10, col: 6, msg: "can inline add with cost 4 as: func(int, int) int { return a + b }"},
+		{file: "f.go", line: 20, col: 6, msg: "cannot inline big: function too complex: cost 120 exceeds budget 80"},
+		{file: "f.go", line: 30, col: 15, msg: "leaking param: p"},
+		{file: "f.go", line: 40, col: 2, msg: "moved to heap: x"},
+		{file: "f.go", line: 50, col: 9, msg: "make([]byte, n) escapes to heap"},
+	})
+	if got := f.canInline[lineKey("f.go", 10)]; got != "add" {
+		t.Errorf("canInline name = %q, want add", got)
+	}
+	if _, ok := f.cannotInline[lineKey("f.go", 20)]; !ok {
+		t.Error("cannotInline fact missing")
+	}
+	if len(f.heapEscapes) != 2 {
+		t.Errorf("heapEscapes = %d, want 2 (moved-to-heap + escapes-to-heap)", len(f.heapEscapes))
+	}
+	if len(f.paramLeaks) != 2 {
+		t.Errorf("paramLeaks = %d, want 2 (leaking param + moved)", len(f.paramLeaks))
+	}
+}

@@ -1,0 +1,68 @@
+// Package applyop_merged reproduces the shape of internal/statevector's
+// applyOp BEFORE the PR 8 split: the sharded parallel branch is written
+// inline in the gate function, so the worker closure capturing the op
+// pointer escapes inside the annotated frame. The gcfacts gate must
+// fail the //qbeep:allocfree directive here — this fixture is the
+// regression test that a revert of the applyOp/applyOpPar split cannot
+// pass `make lint`.
+package applyop_merged
+
+import "sync"
+
+type op struct {
+	kind   int
+	target int
+}
+
+type state struct {
+	amps    []complex128
+	workers int
+}
+
+// apply is the merged (pre-split) shape: serial fast path plus an
+// inline parallel branch whose closure captures o, forcing a heap
+// allocation on every call even when the serial path is taken.
+//
+//qbeep:allocfree
+func (s *state) apply(o *op, space int) error {
+	if s.workers <= 1 {
+		return s.opRange(o, 0, space)
+	}
+	return runShards(space, s.workers, func(lo, hi int) error {
+		return s.opRange(o, lo, hi)
+	})
+}
+
+//go:noinline
+func (s *state) opRange(o *op, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		s.amps[i] *= complex(float64(o.kind), 0)
+	}
+	return nil
+}
+
+//go:noinline
+func runShards(n, workers int, fn func(lo, hi int) error) error {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Package applyop_split reproduces the shape of internal/statevector's
+// applyOp AFTER the PR 8 split: the sharded parallel branch lives in a
+// //go:noinline helper, so the closure allocation is attributed to the
+// helper's frame and the serial gate path stays allocation-free. The
+// gcfacts gate must pass the //qbeep:allocfree directive here.
+package applyop_split
+
+import "sync"
+
+type op struct {
+	kind   int
+	target int
+}
+
+type state struct {
+	amps    []complex128
+	workers int
+}
+
+// apply is the post-split shape: the only branch that allocates is a
+// call into applyPar, whose escaping closure lives outside this frame.
+//
+//qbeep:allocfree
+func (s *state) apply(o *op, space int) error {
+	if s.workers <= 1 {
+		return s.opRange(o, 0, space)
+	}
+	return s.applyPar(o, space)
+}
+
+// applyPar owns the sharded branch. Kept out of apply's frame (and out
+// of the inliner, matching the real kernel) so the closure capturing o
+// cannot leak into the serial path.
+//
+//go:noinline
+func (s *state) applyPar(o *op, space int) error {
+	return runShards(space, s.workers, func(lo, hi int) error {
+		return s.opRange(o, lo, hi)
+	})
+}
+
+//go:noinline
+func (s *state) opRange(o *op, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		s.amps[i] *= complex(float64(o.kind), 0)
+	}
+	return nil
+}
+
+//go:noinline
+func runShards(n, workers int, fn func(lo, hi int) error) error {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package facts exercises every gcfacts directive in isolation:
+// mustinline against an inlinable and a //go:noinline function,
+// noescape against a non-leaking and a leaking parameter, allocfree
+// against a clean loop and a moved-to-heap local, plus the directive
+// validation paths (missing parameter name, unknown parameter) and the
+// //qbeep:allow-* suppression escape hatch.
+package facts
+
+var sink *int
+
+// add stays far under the inlining budget.
+//
+//qbeep:mustinline
+func add(a, b int) int { return a + b }
+
+// bigNoinline is pinned out of the inliner, so mustinline must fail
+// with the compiler's own "marked go:noinline" reason.
+//
+//qbeep:mustinline
+//go:noinline
+func bigNoinline(a, b int) int { return a + b }
+
+// reads only dereferences p: no leak, no escape.
+//
+//qbeep:noescape p
+func reads(p *int) int { return *p }
+
+// stores publishes p through a package-level sink: the compiler reports
+// a leak and noescape must fail.
+//
+//qbeep:noescape p
+func stores(p *int) { sink = p }
+
+// sums is a clean arithmetic loop over a caller-owned slice.
+//
+//qbeep:allocfree
+func sums(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// escapesLocal returns the address of a local, moving it to the heap:
+// allocfree must fail.
+//
+//qbeep:allocfree
+func escapesLocal() *int {
+	x := 7
+	return &x
+}
+
+// missingName omits the parameter: the directive itself is malformed.
+//
+//qbeep:noescape
+func missingName(p *int) int { return *p }
+
+// wrongName targets a parameter that does not exist.
+//
+//qbeep:noescape q
+func wrongName(p *int) int { return *p }
+
+// suppressed fails mustinline but carries an allow directive with a
+// rationale, so the gate stays silent.
+//
+//qbeep:mustinline
+//go:noinline
+//qbeep:allow-mustinline fixture: verifying the suppression path
+func suppressed(a int) int { return a }

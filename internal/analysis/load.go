@@ -27,8 +27,10 @@ type Package struct {
 	Info  *types.Info
 }
 
-// listedPackage mirrors the `go list -json` fields the loader consumes.
-type listedPackage struct {
+// A ListedPackage mirrors the `go list -json` fields the loaders
+// consume. The gcfacts gate reuses it to locate package sources and the
+// export data of their dependencies without a second resolver.
+type ListedPackage struct {
 	ImportPath string
 	Name       string
 	Dir        string
@@ -37,6 +39,18 @@ type listedPackage struct {
 	DepOnly    bool
 	GoFiles    []string
 	Error      *struct{ Err string }
+}
+
+// List resolves patterns (relative to dir) with `go list -export -deps`:
+// every package — targets and dependencies — comes back with its compiled
+// export-data file, so callers can type-check or recompile targets fully
+// offline. Target packages (the ones matching the patterns) are the
+// entries with both Standard and DepOnly false.
+func List(dir string, patterns ...string) ([]*ListedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return goList(dir, patterns)
 }
 
 // Load resolves patterns (e.g. "./...") to packages and type-checks
@@ -58,7 +72,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	exports := make(map[string]string, len(listed))
-	var targets []*listedPackage
+	var targets []*ListedPackage
 	for _, lp := range listed {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
@@ -149,7 +163,7 @@ func NewInfo() *types.Info {
 
 // goList shells out to `go list -export -deps -json` and decodes the
 // JSON stream.
-func goList(dir string, patterns []string) ([]*listedPackage, error) {
+func goList(dir string, patterns []string) ([]*ListedPackage, error) {
 	args := []string{
 		"list", "-e", "-export", "-deps",
 		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,Error",
@@ -163,9 +177,9 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 		return nil, fmt.Errorf("analysis: go list: %w", err)
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
-	var pkgs []*listedPackage
+	var pkgs []*ListedPackage
 	for {
-		lp := new(listedPackage)
+		lp := new(ListedPackage)
 		if err := dec.Decode(lp); err == io.EOF {
 			break
 		} else if err != nil {

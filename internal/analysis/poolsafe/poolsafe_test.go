@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"qbeep/internal/analysis/analysistest"
+	"qbeep/internal/analysis/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, poolsafe.Analyzer, "a")
+}

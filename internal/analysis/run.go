@@ -42,6 +42,15 @@ func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) ([]
 			}
 		}
 	}
+	PrintFindings(w, dir, findings)
+	return findings, nil
+}
+
+// PrintFindings sorts findings by position and writes them to w as
+// "file:line:col: message (analyzer)" lines, filenames relative to dir.
+// Shared by the multichecker driver and the gcfacts gate so both speak
+// the same output format.
+func PrintFindings(w io.Writer, dir string, findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Position, findings[j].Position
 		if a.Filename != b.Filename {
@@ -58,7 +67,6 @@ func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) ([]
 	for _, f := range findings {
 		fmt.Fprintf(w, "%s: %s (%s)\n", shortPosition(f.Position, dir), f.Message, f.Analyzer)
 	}
-	return findings, nil
 }
 
 // shortPosition renders a position with the filename relative to dir

@@ -80,11 +80,19 @@ func (b BitString) FlipBit(i int) BitString {
 }
 
 // Weight is the Hamming weight (number of set bits).
+//
+//qbeep:mustinline
+//qbeep:allocfree
 func (b BitString) Weight() int {
 	return bits.OnesCount64(uint64(b))
 }
 
-// Hamming returns the Hamming distance between a and b.
+// Hamming returns the Hamming distance between a and b. It is the
+// innermost comparison of the edge scan, so it must stay inlinable and
+// allocation-free.
+//
+//qbeep:mustinline
+//qbeep:allocfree
 func Hamming(a, b BitString) int {
 	return bits.OnesCount64(uint64(a ^ b))
 }

@@ -109,6 +109,9 @@ func (d *Dist) Set(v BitString, c float64) {
 }
 
 // Count returns the count of outcome v (zero if unobserved).
+//
+//qbeep:mustinline
+//qbeep:allocfree
 func (d *Dist) Count(v BitString) float64 { return d.counts[v] }
 
 // Total returns the sum of all counts (the shot count for raw data).

@@ -214,6 +214,8 @@ type scanTask struct {
 // buffer and (bucket strategy) the per-bucket forward cursors. Scratches
 // cycle through a buffered-channel pool, so a worker draining many tasks
 // allocates only the exact-size per-task hit copies after warm-up.
+//
+//qbeep:pooled
 type scanScratch struct {
 	hits []uint64
 	cur  []int32
@@ -483,7 +485,7 @@ func scanEdges(ctx context.Context, vals []bitstring.BitString, n, radius int, t
 		s := &scanScratch{hits: make([]uint64, 0, hitCap)}
 		starts := startsArena[:nV+1]
 		pr := sc.scanRange(tasks[0], strat, s, starts)
-		results[0] = scanResult{hits: s.hits, starts: starts, pruned: pr}
+		results[0] = scanResult{hits: s.hits, starts: starts, pruned: pr} //qbeep:allow-poolretain serial path: the scratch is function-local, never pooled, and dies with this frame
 	} else {
 		pool := make(chan *scanScratch, workers)
 		for i := 0; i < workers; i++ {
@@ -679,6 +681,9 @@ func (sc *edgeScanner) scanRange(t scanTask, strat scanStrategy, s *scanScratch,
 // sortPacked is an insertion sort for the short per-vertex (sphere: per
 // top-bit-group) hit runs — a handful of elements each, where a generic
 // sort's dispatch overhead would exceed the work.
+//
+//qbeep:mustinline
+//qbeep:allocfree
 func sortPacked(s []uint64) {
 	for i := 1; i < len(s); i++ {
 		v := s[i]

@@ -102,7 +102,7 @@ func (o *Options) validate() error {
 // Mitigate runs Q-BEEP over raw counts with the pre-induction rate λ and
 // returns the mitigated distribution (same total mass, re-normalized).
 func Mitigate(counts *bitstring.Dist, lambda float64, opts Options) (*bitstring.Dist, error) {
-	out, _, err := mitigate(context.Background(), counts, lambda, opts, nil)
+	out, _, err := mitigateCtx(context.Background(), counts, lambda, opts, nil)
 	return out, err
 }
 
@@ -110,7 +110,7 @@ func Mitigate(counts *bitstring.Dist, lambda float64, opts Options) (*bitstring.
 // "core.mitigate" span (and its graph-build and per-iteration children)
 // parent under the span active in ctx.
 func MitigateCtx(ctx context.Context, counts *bitstring.Dist, lambda float64, opts Options) (*bitstring.Dist, error) {
-	out, _, err := mitigate(ctx, counts, lambda, opts, nil)
+	out, _, err := mitigateCtx(ctx, counts, lambda, opts, nil)
 	return out, err
 }
 
@@ -129,10 +129,10 @@ func MitigateTrackedCtx(ctx context.Context, counts *bitstring.Dist, lambda floa
 	if ideal == nil {
 		return nil, nil, fmt.Errorf("core: MitigateTracked requires an ideal distribution")
 	}
-	return mitigate(ctx, counts, lambda, opts, ideal)
+	return mitigateCtx(ctx, counts, lambda, opts, ideal)
 }
 
-func mitigate(ctx context.Context, counts *bitstring.Dist, lambda float64, opts Options, ideal *bitstring.Dist) (*bitstring.Dist, []float64, error) {
+func mitigateCtx(ctx context.Context, counts *bitstring.Dist, lambda float64, opts Options, ideal *bitstring.Dist) (*bitstring.Dist, []float64, error) {
 	if err := opts.validate(); err != nil {
 		return nil, nil, err
 	}

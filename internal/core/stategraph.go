@@ -424,6 +424,8 @@ func hellingerFromFidelity(f float64) float64 {
 
 // stepScratch holds Step's working set, sized once per graph so the
 // iteration loop performs no allocations after the first call.
+//
+//qbeep:pooled
 type stepScratch struct {
 	prob, z, outflow, inflow, scale, delta []float64 // per vertex
 	flowAB, flowBA                         []float64 // per edge
@@ -476,6 +478,8 @@ func (s *stepScratch) ensure(nV, nE int) {
 //
 // The returned StepStats reports how much mass actually moved, so callers
 // can observe convergence without re-diffing distributions.
+//
+//qbeep:allocfree
 func (g *StateGraph) Step(eta float64) StepStats {
 	if g.total <= 0 {
 		return StepStats{}

@@ -34,9 +34,13 @@ func (r *RNG) Reseed(seed uint64) {
 	}
 }
 
+//qbeep:mustinline
+//qbeep:allocfree
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
+//
+//qbeep:allocfree
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
@@ -50,11 +54,17 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Float64 returns a uniform float in [0, 1).
+//
+//qbeep:mustinline
+//qbeep:allocfree
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Intn returns a uniform integer in [0, n). It panics for n <= 0.
+//
+//qbeep:mustinline
+//qbeep:allocfree
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("mathx: Intn with non-positive n")
@@ -119,6 +129,9 @@ func NewStream(base, index uint64) *RNG {
 
 // ReseedStream re-initializes r in place to the state NewStream(base,
 // index) would return — the allocation-free form for per-shot streams.
+//
+//qbeep:mustinline
+//qbeep:allocfree
 func (r *RNG) ReseedStream(base, index uint64) {
 	r.Reseed(base ^ (index+1)*0x9e3779b97f4a7c15)
 }

@@ -85,6 +85,8 @@ type trajStep struct {
 // across Sample calls so the steady-state hot loop never allocates. The
 // sampler owns its arenas; they are re-created only when the register
 // width changes.
+//
+//qbeep:pooled
 type trajArena struct {
 	st     *statevector.State
 	probs  []float64
@@ -285,6 +287,8 @@ func (t *TrajectorySampler) compileSteps(c *circuit.Circuit, dst []trajStep) ([]
 }
 
 // growArenas ensures at least n pooled worker arenas exist.
+//
+//qbeep:mustinline
 func (t *TrajectorySampler) growArenas(n int) {
 	for len(t.arenas) < n {
 		t.arenas = append(t.arenas, &trajArena{})
@@ -292,7 +296,11 @@ func (t *TrajectorySampler) growArenas(n int) {
 }
 
 // resetCounts readies the arena's local Dist for a width-n batch,
-// re-materializing it only on a width change.
+// re-materializing it only on a width change. It sits on the per-task
+// path of both the trajectory and batch samplers, so it must stay
+// within the inlining budget.
+//
+//qbeep:mustinline
 func (a *trajArena) resetCounts(n int) {
 	if a.counts == nil || a.counts.Width() != n {
 		a.counts = bitstring.NewDist(n)
@@ -370,6 +378,9 @@ func (t *TrajectorySampler) mergeArenas(n, workers int) *bitstring.Dist {
 // sampleProbs draws one outcome from an (unnormalized) probability vector
 // by a single forward scan — the per-shot path needs exactly one draw, so
 // building a cumulative vector would be wasted work.
+//
+//qbeep:allocfree
+//qbeep:noescape p rng
 func sampleProbs(p []float64, rng *mathx.RNG) bitstring.BitString {
 	var total float64
 	for _, v := range p {

@@ -78,7 +78,7 @@ func (d *DebugServer) Shutdown(timeout time.Duration) error {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout) //qbeep:allow-ctx shutdown deadline is process-lifetime work, deliberately detached from request contexts
 	defer cancel()
 	if err := d.srv.Shutdown(ctx); err != nil {
 		// Deadline hit with scrapes still running: drop them rather than

@@ -128,7 +128,7 @@ func Start(ctx context.Context, name string) (context.Context, Span) {
 		return ctx, Span{}
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //qbeep:allow-ctx nil-ctx normalization: Start tolerates nil for legacy callers
 	}
 	var ts *traceState
 	var parent uint64
@@ -170,7 +170,7 @@ func TraceIDFrom(ctx context.Context) uint64 {
 // own single-span trace. Retained for call sites with no context to
 // thread; prefer Start.
 func StartSpan(name string) Span {
-	_, sp := Start(context.Background(), name)
+	_, sp := Start(context.Background(), name) //qbeep:allow-ctx documented Background-wrapper shim: StartSpan exists for ctx-less call sites
 	return sp
 }
 

@@ -499,6 +499,10 @@ func (s *State) resolveWorkers(space int) int {
 // the op, and were it written inline, escape analysis would move the op
 // parameter to the heap for *every* call — one allocation per gate on
 // the serial path that the trajectory sampler's zero-alloc pin forbids.
+// The //qbeep:allocfree directive makes the gcfacts gate reject any
+// refactor that merges the branch back in.
+//
+//qbeep:allocfree
 func (s *State) applyOp(o op) {
 	if o.kind == opNoop {
 		return
@@ -533,6 +537,8 @@ func (s *State) applyOpPar(o op, space, w int) {
 }
 
 // opRange applies the kernel over compressed indices [lo, hi).
+//
+//qbeep:allocfree
 func (s *State) opRange(o op, lo, hi int) {
 	switch o.kind {
 	case opDense1:
@@ -565,6 +571,8 @@ func (s *State) opRange(o op, lo, hi int) {
 // the group absorbed. Combos at consecutive offsets touch consecutive
 // memory when the involved qubits sit low, which they do for the
 // nearest-neighbour interactions this fusion targets.
+//
+//qbeep:allocfree
 func (s *State) diagNRange(o op, lo, hi int) {
 	amp := s.amp
 	offs := o.offs
@@ -622,6 +630,8 @@ const smallRun = 16
 // classes cut the generic 16-multiply complex arithmetic down to 8 real
 // multiplies for real and axial matrices; results equal the generic path
 // exactly up to the sign of zero.
+//
+//qbeep:allocfree
 func (s *State) dense1Range(q int, class uint8, m [2][2]complex128, lo, hi int) {
 	mask := 1 << uint(q)
 	amp := s.amp
@@ -698,6 +708,8 @@ func (s *State) dense1Range(q int, class uint8, m [2][2]complex128, lo, hi int) 
 // diag1Range multiplies the two halves of each pair by d0/d1. A d0 of
 // exactly 1 skips the |0⟩ half entirely, mirroring the naive phase loop
 // bit-for-bit.
+//
+//qbeep:allocfree
 func (s *State) diag1Range(q int, d0, d1 complex128, lo, hi int) {
 	mask := 1 << uint(q)
 	amp := s.amp
@@ -738,6 +750,8 @@ func (s *State) diag1Range(q int, d0, d1 complex128, lo, hi int) {
 }
 
 // flipRange swaps the halves of each pair (Pauli X: a pure permutation).
+//
+//qbeep:allocfree
 func (s *State) flipRange(q int, lo, hi int) {
 	mask := 1 << uint(q)
 	amp := s.amp
@@ -765,6 +779,8 @@ func (s *State) flipRange(q int, lo, hi int) {
 
 // cxRange swaps target pairs where the control is set: compressed space
 // has zeros at both qubit positions, control forced on.
+//
+//qbeep:allocfree
 func (s *State) cxRange(ctrl, tgt, lo, hi int) {
 	cm := 1 << uint(ctrl)
 	tm := 1 << uint(tgt)
@@ -793,6 +809,8 @@ func (s *State) cxRange(ctrl, tgt, lo, hi int) {
 }
 
 // czRange negates amplitudes where both qubits are set.
+//
+//qbeep:allocfree
 func (s *State) czRange(a, b, lo, hi int) {
 	am := 1 << uint(a)
 	bm := 1 << uint(b)
@@ -820,6 +838,8 @@ func (s *State) czRange(a, b, lo, hi int) {
 // zzRange applies the fused two-qubit diagonal: d0 where the two qubit
 // bits agree, d1 where they differ — four strided streams per run, one
 // multiplication per amplitude.
+//
+//qbeep:allocfree
 func (s *State) zzRange(qa, qb int, d0, d1 complex128, lo, hi int) {
 	am := 1 << uint(qa)
 	bm := 1 << uint(qb)
@@ -857,6 +877,8 @@ func (s *State) zzRange(qa, qb int, d0, d1 complex128, lo, hi int) {
 }
 
 // swapRange exchanges the |01⟩ and |10⟩ components of each qubit pair.
+//
+//qbeep:allocfree
 func (s *State) swapRange(a, b, lo, hi int) {
 	am := 1 << uint(a)
 	bm := 1 << uint(b)
@@ -905,6 +927,8 @@ func sort3(a, b, c int) (int, int, int) {
 }
 
 // ccxRange swaps target pairs where both controls are set.
+//
+//qbeep:allocfree
 func (s *State) ccxRange(c1, c2, tgt, lo, hi int) {
 	m1 := 1 << uint(c1)
 	m2 := 1 << uint(c2)
@@ -919,6 +943,8 @@ func (s *State) ccxRange(c1, c2, tgt, lo, hi int) {
 }
 
 // cswapRange exchanges the two swap qubits where the control is set.
+//
+//qbeep:allocfree
 func (s *State) cswapRange(ctrl, a, b, lo, hi int) {
 	cm := 1 << uint(ctrl)
 	am := 1 << uint(a)

@@ -80,14 +80,26 @@ func (p *Program) Gates() int { return p.gates }
 
 // RunProgram replays a compiled program onto the state in place: the
 // zero-allocation hot path for repeated execution of one circuit.
+//
+//qbeep:allocfree
 func (s *State) RunProgram(p *Program) error {
 	if p.n != s.n {
-		return fmt.Errorf("statevector: program width %d vs state width %d", p.n, s.n)
+		return widthMismatchError(p.n, s.n)
 	}
 	for _, o := range p.ops {
 		s.applyOp(o)
 	}
 	return nil
+}
+
+// widthMismatchError builds the RunProgram width error. Split out like
+// applyOpPar: fmt.Errorf boxes its operands, and inlined into
+// RunProgram that boxing would sit in the replay loop's frame and break
+// its allocfree fact; behind //go:noinline the cold path pays alone.
+//
+//go:noinline
+func widthMismatchError(pn, sn int) error {
+	return fmt.Errorf("statevector: program width %d vs state width %d", pn, sn)
 }
 
 // RunProgramTiled replays the program with cache-blocked application:
@@ -210,6 +222,9 @@ func CompileGate(n int, g circuit.Gate) (CompiledOp, error) {
 
 // ApplyCompiled applies a pre-lowered gate. The caller is responsible
 // for width agreement (CompileGate validated it once).
+//
+//qbeep:allocfree
+//qbeep:mustinline
 func (s *State) ApplyCompiled(co CompiledOp) {
 	s.applyOp(co.o)
 }
