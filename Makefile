@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint gcfacts test race bench-smoke bench-core bench-sim bench-gate bench-record fuzz-smoke obs-smoke ci
+.PHONY: all build vet lint gcfacts test race bench-smoke bench-core bench-sim bench-gate bench-record fuzz-smoke obs-smoke quality-gate quality-baseline ci
 
 # Extra worker counts the determinism tests sweep on top of their
 # built-in {1, 4, GOMAXPROCS} matrix. Comma-separated. The matrix
@@ -85,7 +85,7 @@ bench-sim:
 # recording is disabled here — CI working trees should not dirty the
 # checked-in BENCH_trajectory.json.
 bench-gate:
-	$(GO) run ./cmd/qbeep-bench -suites core,sim -compare -trajectory '' -benchtime 100ms
+	$(GO) run ./cmd/qbeep-bench -suites core,sim -compare -trajectory '' -benchtime 100ms -commit "$$(git rev-parse --short HEAD)"
 
 # bench-record: refresh BENCH_trajectory.json with one row per suite at
 # the current commit (idempotent: re-running replaces the rows).
@@ -119,4 +119,25 @@ obs-smoke:
 	grep -q 'adaptive early exit: 17 flow iterations saved' $$tmp/hotspots.txt; \
 	$(GO) run ./scripts/obssmoke
 
-ci: vet lint test race bench-smoke obs-smoke bench-gate
+# quality-gate: the mitigation-quality regression gate (DESIGN.md §16).
+# A small deterministic slice of the Fig. 7 experiment runs with
+# -run-ledger, then cmd/qbeep-ledger compares the per-backend quality
+# means (λ, Hellinger shift, fidelity, PST) against the pinned
+# QUALITY_baseline.json. Unlike bench-gate's wall-clock ratios, every
+# gated metric is a seed-deterministic model output, so any delta is a
+# real behavioral change, not machine noise.
+quality-gate:
+	@set -e; rm -rf .quality-gate; mkdir -p .quality-gate; \
+	$(GO) run ./cmd/qbeep-experiments -fig 7 -scale 0.05 -shots 1024 \
+		-run-ledger .quality-gate/runs.ndjson -trace .quality-gate/trace.ndjson > .quality-gate/stdout.txt; \
+	$(GO) run ./cmd/qbeep-ledger -gate -baseline QUALITY_baseline.json .quality-gate/runs.ndjson
+
+# quality-baseline: regenerate QUALITY_baseline.json from the same
+# workload. Run after a deliberate quality-affecting change, inspect the
+# diff, and commit the result alongside the change that moved it.
+quality-baseline:
+	@set -e; rm -rf .quality-gate; mkdir -p .quality-gate; \
+	$(GO) run ./cmd/qbeep-experiments -fig 7 -scale 0.05 -shots 1024 -run-ledger .quality-gate/runs.ndjson > .quality-gate/stdout.txt; \
+	$(GO) run ./cmd/qbeep-ledger -write-baseline QUALITY_baseline.json -commit "$$(git rev-parse --short HEAD)" .quality-gate/runs.ndjson
+
+ci: vet lint test race bench-smoke obs-smoke bench-gate quality-gate

@@ -155,11 +155,40 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+	if *trajectory == "" {
+		// Gate-only runs skip recording; remind the operator when the
+		// checked-in trajectory has no row for this tree, so the history
+		// BENCH_trajectory.json tells stays gap-free (make bench-record).
+		warnMissingTrajectoryRows(out, filepath.Join(*baselineDir, "BENCH_trajectory.json"), names, *commit)
+	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d invariant(s) regressed past threshold: %s",
 			len(regressed), strings.Join(regressed, ", "))
 	}
 	return nil
+}
+
+// warnMissingTrajectoryRows prints one warning per selected suite that
+// has no trajectory row at commit. Purely advisory: the gate's verdict
+// is unaffected, and an unreadable trajectory only warns once.
+func warnMissingTrajectoryRows(out io.Writer, path string, suiteNames []string, commit string) {
+	tr, err := benchparse.LoadTrajectory(path)
+	if err != nil {
+		fmt.Fprintf(out, "warning: cannot read %s: %v\n", path, err)
+		return
+	}
+	have := map[string]bool{}
+	for _, r := range tr.Rows {
+		if r.Commit == commit {
+			have[r.Suite] = true
+		}
+	}
+	for _, name := range suiteNames {
+		if !have[name] {
+			fmt.Fprintf(out, "warning: %s has no %s row for commit %s — run `make bench-record` to keep the trajectory current\n",
+				path, name, commit)
+		}
+	}
 }
 
 // collect produces one suite's parsed results, either from a saved

@@ -121,6 +121,42 @@ func TestTrajectoryRecording(t *testing.T) {
 	}
 }
 
+// TestMissingTrajectoryRowWarns: gate-only runs (-trajectory ”) warn
+// when the checked-in trajectory lacks a row for the current commit,
+// and stay quiet once the row exists.
+func TestMissingTrajectoryRowWarns(t *testing.T) {
+	dir, in := setup(t, healthyTranscript)
+	gateArgs := []string{
+		"-suites", "sim", "-input", in, "-compare",
+		"-baseline-dir", dir, "-trajectory", "",
+		"-commit", "abc123", "-date", "2026-08-08",
+	}
+	var out bytes.Buffer
+	if err := run(gateArgs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no") || !strings.Contains(out.String(), "row for commit abc123") {
+		t.Fatalf("expected missing-row warning:\n%s", out.String())
+	}
+
+	// Record a row at that commit, then the warning disappears.
+	var rec bytes.Buffer
+	if err := run([]string{
+		"-suites", "sim", "-input", in,
+		"-baseline-dir", dir, "-trajectory", filepath.Join(dir, "BENCH_trajectory.json"),
+		"-commit", "abc123", "-date", "2026-08-08",
+	}, &rec); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(gateArgs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "row for commit abc123") {
+		t.Fatalf("warning persisted after recording:\n%s", out.String())
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-suites", "nope", "-trajectory", ""}, &out); err == nil {

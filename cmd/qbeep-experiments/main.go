@@ -45,6 +45,7 @@ func run() error {
 		report      = flag.String("report", "", "write a machine-readable JSON run report to this path ('-' = stderr)")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof/, /debug/vars, /metrics and /healthz on this address (e.g. localhost:6060)")
 		traceFlags  = obs.AddTraceFlags(nil)
+		ledgerFlags = obs.AddLedgerFlags(nil)
 		logFlags    = obs.AddLogFlags(nil)
 		version     = buildinfo.AddVersionFlag(nil)
 	)
@@ -76,6 +77,17 @@ func run() error {
 	defer func() {
 		if err := stopTrace(); err != nil {
 			obs.Logger().Warn("flushing trace output", "err", err)
+		}
+	}()
+	stopLedger, err := ledgerFlags.Start()
+	if err != nil {
+		return err
+	}
+	// Every workload appends its quality record (see
+	// internal/experiments/quality.go); the close flushes the NDJSON tail.
+	defer func() {
+		if err := stopLedger(); err != nil {
+			obs.Logger().Warn("closing run ledger", "err", err)
 		}
 	}()
 

@@ -1,0 +1,240 @@
+// Command qbeep-ledger analyzes the NDJSON run ledgers written by
+// qbeep, qbeep-sim and qbeep-experiments under -run-ledger: it filters
+// and aggregates quality metrics per backend/circuit, watches the λ and
+// Hellinger-shift series for calibration drift (EWMA + CUSUM control
+// charts), and gates a fresh ledger against the pinned
+// QUALITY_baseline.json the same way cmd/qbeep-bench gates benchmark
+// ratios (DESIGN.md §16):
+//
+//	qbeep-ledger runs.ndjson                       # aggregate per backend
+//	qbeep-ledger -circuit bv_8 -group circuit *.ndjson
+//	qbeep-ledger -drift runs.ndjson                # control-chart the series
+//	qbeep-ledger -gate -baseline QUALITY_baseline.json runs.ndjson
+//	qbeep-ledger -write-baseline QUALITY_baseline.json runs.ndjson
+//
+// -gate and -drift exit non-zero on a tripped gate or chart, so both
+// slot directly into CI (make quality-gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"qbeep/internal/buildinfo"
+	"qbeep/internal/runledger"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qbeep-ledger:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qbeep-ledger", flag.ContinueOnError)
+	var (
+		backend       = fs.String("backend", "", "only records from this backend")
+		circuit       = fs.String("circuit", "", "only records matching this circuit name or hash")
+		figure        = fs.String("figure", "", "only records tagged with this experiment figure")
+		tool          = fs.String("tool", "", "only records from this tool (qbeep, qbeep-sim, qbeep-experiments)")
+		group         = fs.String("group", "backend", "aggregation key: backend, circuit, backend-circuit, or all")
+		drift         = fs.Bool("drift", false, "run EWMA+CUSUM drift detection; exit non-zero when a chart alarms")
+		driftMetrics  = fs.String("drift-metrics", "lambda,hellinger_shift", "comma-separated metrics the -drift charts watch")
+		gate          = fs.Bool("gate", false, "compare against -baseline; exit non-zero past threshold")
+		baselinePath  = fs.String("baseline", "QUALITY_baseline.json", "baseline document for -gate")
+		threshold     = fs.Float64("threshold", 0, "relative gate tolerance (0 = the baseline's own)")
+		writeBaseline = fs.String("write-baseline", "", "aggregate the ledger into a new baseline at this path")
+		commit        = fs.String("commit", "", "commit recorded in a written baseline (default: build VCS revision)")
+		version       = buildinfo.AddVersionFlag(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.Summary("qbeep-ledger"))
+		return nil
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no ledger files given (usage: qbeep-ledger [flags] run.ndjson...)")
+	}
+	var recs []runledger.Record
+	for _, path := range fs.Args() {
+		rs, err := runledger.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rs...)
+	}
+	recs = runledger.Filter{Backend: *backend, Circuit: *circuit, Figure: *figure, Tool: *tool}.Apply(recs)
+	if len(recs) == 0 {
+		return runledger.ErrEmpty
+	}
+
+	switch {
+	case *writeBaseline != "":
+		if *commit == "" {
+			*commit = buildinfo.Read().ShortRevision()
+		}
+		base, err := runledger.BuildBaseline(recs, *commit)
+		if err != nil {
+			return err
+		}
+		if err := base.SaveBaseline(*writeBaseline); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote baseline %s (%d records, %d groups, commit %s)\n",
+			*writeBaseline, len(recs), len(base.Groups), *commit)
+		return nil
+	case *gate:
+		base, err := runledger.LoadBaseline(*baselinePath)
+		if err != nil {
+			return err
+		}
+		return printGate(out, recs, base, *threshold, *baselinePath)
+	case *drift:
+		return printDrift(out, recs, splitList(*driftMetrics))
+	default:
+		return printAggregate(out, recs, *group)
+	}
+}
+
+// printAggregate renders the per-group metric summaries as one table
+// row per (group, metric).
+func printAggregate(out io.Writer, recs []runledger.Record, group string) error {
+	var by runledger.GroupBy
+	switch group {
+	case "backend":
+		by = runledger.ByBackend
+	case "circuit":
+		by = runledger.ByCircuit
+	case "backend-circuit":
+		by = runledger.ByBackendCircuit
+	case "all":
+		// A single bucket: ByBackend over records stripped of their key
+		// would distort the data; instead aggregate with every record
+		// sharing the empty key.
+		all := make([]runledger.Record, len(recs))
+		copy(all, recs)
+		for i := range all {
+			all[i].Backend = ""
+		}
+		groups := runledger.Aggregate(all, runledger.ByBackend)
+		printGroups(out, len(recs), groups)
+		return nil
+	default:
+		return fmt.Errorf("unknown -group %q (backend, circuit, backend-circuit, all)", group)
+	}
+	printGroups(out, len(recs), runledger.Aggregate(recs, by))
+	return nil
+}
+
+func printGroups(out io.Writer, total int, groups []runledger.Group) {
+	fmt.Fprintf(out, "%d records, %d group(s)\n", total, len(groups))
+	for _, g := range groups {
+		fmt.Fprintf(out, "\ngroup %s  (n=%d)\n", groupLabel(g.Backend, g.Circuit), g.N)
+		for _, m := range runledger.MetricNames {
+			s, ok := g.Metrics[m]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(out, "  %-22s n=%-4d mean %12.6f  p50 %12.6f  p95 %12.6f  min %12.6f  max %12.6f\n",
+				m, s.N, s.Mean, s.P50, s.P95, s.Min, s.Max)
+		}
+	}
+}
+
+func groupLabel(backend, circuit string) string {
+	switch {
+	case backend != "" && circuit != "":
+		return backend + "/" + circuit
+	case backend != "":
+		return backend
+	case circuit != "":
+		return circuit
+	}
+	return "(all)"
+}
+
+// printDrift control-charts each requested metric, overall and per
+// backend, and fails when any chart alarms.
+func printDrift(out io.Writer, recs []runledger.Record, metrics []string) error {
+	if len(metrics) == 0 {
+		return fmt.Errorf("no -drift-metrics selected")
+	}
+	backends := map[string]bool{}
+	for _, r := range recs {
+		if r.Backend != "" {
+			backends[r.Backend] = true
+		}
+	}
+	names := make([]string, 0, len(backends)+1)
+	names = append(names, "") // overall series first
+	for b := range backends {
+		names = append(names, b)
+	}
+	sort.Strings(names[1:])
+
+	var tripped []string
+	for _, b := range names {
+		sub := runledger.Filter{Backend: b}.Apply(recs)
+		for _, m := range metrics {
+			series := runledger.Series(sub, m)
+			res := runledger.Detect(series, runledger.DriftConfig{})
+			label := groupLabel(b, "") + "/" + m
+			if !res.Drifted() {
+				fmt.Fprintf(out, "drift %-40s n=%-4d warmup=%-3d mu0=%.6f sigma0=%.6f  ok\n",
+					label, res.N, res.Warmup, res.Mean, res.Std)
+				continue
+			}
+			tripped = append(tripped, label)
+			for _, a := range res.Alarms {
+				fmt.Fprintf(out, "drift %-40s n=%-4d warmup=%-3d mu0=%.6f sigma0=%.6f  DRIFT %s at sample %d (stat %.4f, limit %.4f)\n",
+					label, res.N, res.Warmup, res.Mean, res.Std, a.Detector, a.Index, a.Stat, a.Limit)
+			}
+		}
+	}
+	if len(tripped) > 0 {
+		return fmt.Errorf("drift detected on %d series: %s", len(tripped), strings.Join(tripped, ", "))
+	}
+	return nil
+}
+
+// printGate renders every baseline comparison and fails when one
+// tripped.
+func printGate(out io.Writer, recs []runledger.Record, base runledger.Baseline, threshold float64, baselinePath string) error {
+	findings, failed, err := runledger.CompareBaseline(recs, base, threshold)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, f := range findings {
+		verdict := "ok"
+		if f.Failed {
+			verdict = "REGRESSION"
+			failures = append(failures, groupLabel(f.Backend, f.Circuit)+"/"+f.Metric)
+		}
+		fmt.Fprintf(out, "gate %-44s baseline %12.6f  current %12.6f  delta %+7.2f%%  %s\n",
+			groupLabel(f.Backend, f.Circuit)+"/"+f.Metric, f.Baseline, f.Current, 100*f.Delta, verdict)
+	}
+	if failed {
+		return fmt.Errorf("%d quality metric(s) regressed against %s: %s",
+			len(failures), baselinePath, strings.Join(failures, ", "))
+	}
+	fmt.Fprintf(out, "quality gate passed: %d comparison(s) within tolerance of %s\n", len(findings), baselinePath)
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

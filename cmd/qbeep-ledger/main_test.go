@@ -1,0 +1,215 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qbeep/internal/runledger"
+)
+
+// writeLedger creates an NDJSON ledger of reps records per backend,
+// with per-backend λ and quality values offset by scale (1 = the
+// fixture baseline).
+func writeLedger(t *testing.T, path string, reps int, scale float64) {
+	t.Helper()
+	w, err := runledger.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []struct {
+		name   string
+		lambda float64
+	}{{"istanbul", 1.2}, {"almaden", 0.9}}
+	for i := 0; i < reps; i++ {
+		for _, b := range backends {
+			rec := runledger.Record{
+				Tool:        "qbeep-experiments",
+				Backend:     b.name,
+				Circuit:     "bv_8",
+				CircuitHash: runledger.HashBytes([]byte("bv_8")),
+				Lambda:      b.lambda * scale,
+				Shots:       1024,
+				Stages:      []runledger.Stage{{Name: "mitigate", WallS: 0.01}},
+				Quality: runledger.Quality{
+					HellingerShift:     0.2 * scale,
+					HellingerMitigated: 0.1 * scale,
+					FidelityMitigated:  0.9 / scale,
+					PSTRaw:             0.5,
+					PSTMitigated:       0.7 / scale,
+					PSTImprovement:     1.4 / scale,
+					PosteriorEntropy:   1.1,
+					Iterations:         20,
+				},
+			}
+			if err := w.Append(&rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.ndjson")
+	writeLedger(t, path, 3, 1)
+
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"6 records, 2 group(s)", "group almaden", "group istanbul", "lambda", "hellinger_shift", "mitigate_wall_s"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("aggregate output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Filtered to one backend, grouped per circuit.
+	out.Reset()
+	if err := run([]string{"-backend", "istanbul", "-group", "circuit", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	if !strings.Contains(got, "3 records, 1 group(s)") || !strings.Contains(got, "group bv_8") {
+		t.Fatalf("filtered aggregate wrong:\n%s", got)
+	}
+	if strings.Contains(got, "almaden") {
+		t.Fatalf("-backend filter leaked the other backend:\n%s", got)
+	}
+
+	// -group all collapses to a single bucket.
+	out.Reset()
+	if err := run([]string{"-group", "all", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "group (all)") {
+		t.Fatalf("-group all output wrong:\n%s", out.String())
+	}
+}
+
+func TestFilterToNothingErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.ndjson")
+	writeLedger(t, path, 1, 1)
+	var out strings.Builder
+	if err := run([]string{"-backend", "nope", path}, &out); err == nil {
+		t.Fatal("empty filtered ledger must error")
+	}
+}
+
+func TestWriteBaselineThenGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.ndjson")
+	writeLedger(t, path, 4, 1)
+	basePath := filepath.Join(dir, "QUALITY_baseline.json")
+
+	var out strings.Builder
+	if err := run([]string{"-write-baseline", basePath, "-commit", "abc123", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote baseline") {
+		t.Fatalf("write-baseline output: %s", out.String())
+	}
+	base, err := runledger.LoadBaseline(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Commit != "abc123" || len(base.Groups) != 3 {
+		t.Fatalf("baseline = %+v", base)
+	}
+
+	// The same ledger gates cleanly against its own baseline.
+	out.Reset()
+	if err := run([]string{"-gate", "-baseline", basePath, path}, &out); err != nil {
+		t.Fatalf("self-gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "quality gate passed") {
+		t.Fatalf("gate output: %s", out.String())
+	}
+
+	// A regressed ledger (λ drifted up, fidelity down) trips the gate.
+	regPath := filepath.Join(dir, "regressed.ndjson")
+	writeLedger(t, regPath, 4, 1.3)
+	out.Reset()
+	err = run([]string{"-gate", "-baseline", basePath, regPath}, &out)
+	if err == nil {
+		t.Fatalf("regressed ledger must fail the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regressed against") {
+		t.Fatalf("gate error: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("gate output lacks REGRESSION rows:\n%s", out.String())
+	}
+}
+
+func TestDriftMode(t *testing.T) {
+	dir := t.TempDir()
+
+	// Stationary ledger: identical records, no drift.
+	flat := filepath.Join(dir, "flat.ndjson")
+	writeLedger(t, flat, 40, 1)
+	var out strings.Builder
+	if err := run([]string{"-drift", flat, flat}, &out); err != nil {
+		t.Fatalf("stationary series alarmed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("drift output: %s", out.String())
+	}
+
+	// A ledger whose tail steps to a higher λ must alarm: the warmup
+	// freezes the flat prefix, the shifted tail trips the charts.
+	w, err := runledger.Create(filepath.Join(dir, "step.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		lam := 1.2
+		if i >= 60 {
+			lam = 1.5
+		}
+		rec := runledger.Record{
+			Backend: "istanbul",
+			Lambda:  lam,
+			Quality: runledger.Quality{HellingerShift: 0.2},
+		}
+		if err := w.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-drift", filepath.Join(dir, "step.ndjson")}, &out)
+	if err == nil {
+		t.Fatalf("step drift not detected:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "drift detected") || !strings.Contains(out.String(), "DRIFT") {
+		t.Fatalf("drift failure shape: err=%v out=%s", err, out.String())
+	}
+	// The stationary hellinger_shift series must not be implicated.
+	if strings.Contains(err.Error(), "hellinger_shift") {
+		t.Fatalf("hellinger_shift wrongly flagged: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no ledger files must error")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.ndjson")
+	writeLedger(t, path, 1, 1)
+	if err := run([]string{"-group", "bogus", path}, &out); err == nil {
+		t.Fatal("unknown -group must error")
+	}
+	if err := run([]string{"-gate", "-baseline", filepath.Join(dir, "missing.json"), path}, &out); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}

@@ -14,11 +14,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"qbeep"
+	"qbeep/internal/bitstring"
 	"qbeep/internal/buildinfo"
 	"qbeep/internal/obs"
 	"qbeep/internal/results"
+	"qbeep/internal/runledger"
 )
 
 func main() {
@@ -30,17 +34,18 @@ func main() {
 
 func run() error {
 	var (
-		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 circuit (required)")
-		backend    = flag.String("backend", "istanbul", "backend name (see qbeep-backends)")
-		shots      = flag.Int("shots", 4096, "shots")
-		batch      = flag.Int("batch", 1, "shot blocks fanned across the worker pool (1 = serial)")
-		seed       = flag.Uint64("seed", 1, "noise RNG seed")
-		ideal      = flag.Bool("ideal", false, "emit the noiseless distribution instead")
-		meta       = flag.Bool("meta", false, "wrap counts in the metadata envelope (backend, shots, lambda)")
-		outPath    = flag.String("o", "", "output path (default stdout)")
-		traceFlags = obs.AddTraceFlags(nil)
-		logFlags   = obs.AddLogFlags(nil)
-		version    = buildinfo.AddVersionFlag(nil)
+		qasmPath    = flag.String("qasm", "", "OpenQASM 2.0 circuit (required)")
+		backend     = flag.String("backend", "istanbul", "backend name (see qbeep-backends)")
+		shots       = flag.Int("shots", 4096, "shots")
+		batch       = flag.Int("batch", 1, "shot blocks fanned across the worker pool (1 = serial)")
+		seed        = flag.Uint64("seed", 1, "noise RNG seed")
+		ideal       = flag.Bool("ideal", false, "emit the noiseless distribution instead")
+		meta        = flag.Bool("meta", false, "wrap counts in the metadata envelope (backend, shots, lambda)")
+		outPath     = flag.String("o", "", "output path (default stdout)")
+		traceFlags  = obs.AddTraceFlags(nil)
+		ledgerFlags = obs.AddLedgerFlags(nil)
+		logFlags    = obs.AddLogFlags(nil)
+		version     = buildinfo.AddVersionFlag(nil)
 	)
 	flag.Parse()
 	if *version {
@@ -61,11 +66,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	stopLedger, err := ledgerFlags.Start()
+	if err != nil {
+		stopTrace()
+		return err
+	}
+	t0 := time.Now()
 	sim, err := simulate(string(src), *backend, *shots, *batch, *seed)
-	// Flush the trace even on failure; its own error surfaces only when
-	// the run otherwise succeeded.
+	if err == nil && obs.RunLedgerEnabled() {
+		recordLedger(*qasmPath, src, *backend, *shots, sim, time.Since(t0).Seconds())
+	}
+	// Flush the trace and ledger even on failure; their own errors
+	// surface only when the run otherwise succeeded.
 	if terr := stopTrace(); err == nil {
 		err = terr
+	}
+	if lerr := stopLedger(); err == nil {
+		err = lerr
 	}
 	if err != nil {
 		return err
@@ -125,4 +142,36 @@ func simulate(src, backend string, shots, batch int, seed uint64) (*qbeep.SimRes
 		sp.SetAttr("batch", batch)
 	}
 	return sim, nil
+}
+
+// recordLedger appends this induction's quality record: the simulator
+// knows the exact noiseless distribution, so the record carries the raw
+// counts' fidelity/Hellinger against it and the Hamming spectrum
+// centered on the ideal mode — the pre-mitigation half of the quality
+// story (cmd/qbeep appends the post-mitigation half).
+func recordLedger(qasmPath string, src []byte, backend string, shots int, sim *qbeep.SimResult, simulateS float64) {
+	rec := runledger.Record{
+		Tool:        "qbeep-sim",
+		Backend:     backend,
+		Circuit:     filepath.Base(qasmPath),
+		CircuitHash: runledger.HashBytes(src),
+		Lambda:      sim.Lambda.Total(),
+		Shots:       float64(shots),
+		Stages:      []runledger.Stage{{Name: "simulate", WallS: simulateS}},
+	}
+	raw, err := bitstring.FromStringCounts(sim.Raw)
+	if err == nil {
+		if ideal, ierr := bitstring.FromStringCounts(sim.Ideal); ierr == nil {
+			center, _ := ideal.Top()
+			rec.Quality = runledger.Quality{
+				FidelityRaw:    bitstring.Fidelity(ideal, raw),
+				HellingerRaw:   bitstring.Hellinger(ideal, raw),
+				SpectrumRef:    "expected",
+				SpectrumBefore: raw.HammingSpectrum(center),
+			}
+		}
+	}
+	if err := obs.RecordRun(&rec); err != nil {
+		obs.Logger().Warn("run-ledger append failed", "err", err)
+	}
 }

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"qbeep"
 	"qbeep/internal/bitstring"
@@ -35,6 +37,7 @@ import (
 	"qbeep/internal/core"
 	"qbeep/internal/obs"
 	"qbeep/internal/results"
+	"qbeep/internal/runledger"
 )
 
 func main() {
@@ -71,6 +74,7 @@ func run() error {
 		dotPath     = flag.String("dot", "", "also write the pre-mitigation state graph as Graphviz DOT")
 		outPath     = flag.String("o", "", "output path (default stdout)")
 		traceFlags  = obs.AddTraceFlags(nil)
+		ledgerFlags = obs.AddLedgerFlags(nil)
 		logFlags    = obs.AddLogFlags(nil)
 		version     = buildinfo.AddVersionFlag(nil)
 	)
@@ -89,6 +93,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	stopLedger, err := ledgerFlags.Start()
+	if err != nil {
+		stopTrace()
+		return err
+	}
 	err = pipeline(config{
 		countsPath:  *countsPath,
 		lambda:      *lambda,
@@ -101,10 +110,14 @@ func run() error {
 		dotPath:     *dotPath,
 		outPath:     *outPath,
 	})
-	// The sink must flush even when the pipeline failed — a partial trace
-	// still analyzes — and its own error surfaces only on success.
+	// The sinks must flush even when the pipeline failed — a partial trace
+	// or ledger still analyzes — and their own errors surface only on
+	// success.
 	if terr := stopTrace(); err == nil {
 		err = terr
+	}
+	if lerr := stopLedger(); err == nil {
+		err = lerr
 	}
 	return err
 }
@@ -118,10 +131,16 @@ func pipeline(cfg config) error {
 	// returns (qbeep-lint spanend); attributes set below still precede it.
 	defer sp.End()
 
+	// Per-stage wall clocks for the run-ledger record (zero cost when no
+	// ledger is installed: three time.Since calls and no allocation).
+	var loadS, estimateS, mitigateS float64
+
+	t0 := time.Now()
 	file, err := results.Load(cfg.countsPath)
 	if err != nil {
 		return err
 	}
+	loadS = time.Since(t0).Seconds()
 	counts := file.Counts
 
 	lam := cfg.lambda
@@ -131,6 +150,7 @@ func pipeline(cfg config) error {
 		lam = file.Lambda
 		obs.Logger().Info("using lambda from counts envelope", "lambda", lam, "path", cfg.countsPath)
 	}
+	var qasmSrc []byte
 	if lam < 0 {
 		if cfg.qasmPath == "" || cfg.backend == "" {
 			return fmt.Errorf("provide -lambda, a counts envelope with lambda, or -qasm and -backend")
@@ -139,10 +159,13 @@ func pipeline(cfg config) error {
 		if err != nil {
 			return err
 		}
+		qasmSrc = src
+		t0 = time.Now()
 		est, err := qbeep.EstimateLambdaQASMCtx(ctx, string(src), cfg.backend)
 		if err != nil {
 			return err
 		}
+		estimateS = time.Since(t0).Seconds()
 		lam = est.Total()
 		obs.Logger().Info("estimated lambda",
 			"lambda", lam, "t1", est.T1, "t2", est.T2, "gates", est.Gates, "schedule_s", est.Time)
@@ -177,13 +200,22 @@ func pipeline(cfg config) error {
 		ConvergeTol: cfg.convergeTol,
 		TopK:        cfg.topK,
 	}
+	var qstats qbeep.QualityStats
+	if obs.RunLedgerEnabled() {
+		opts.OnQuality = func(q qbeep.QualityStats) { qstats = q }
+	}
+	t0 = time.Now()
 	mitigated, err := qbeep.MitigateCtx(ctx, counts, lam, opts)
 	if err != nil {
 		return err
 	}
+	mitigateS = time.Since(t0).Seconds()
 	sp.SetAttr("counts", cfg.countsPath)
 	sp.SetAttr("lambda", lam)
 	sp.SetAttr("iterations", cfg.iterations)
+	if obs.RunLedgerEnabled() {
+		recordLedger(ctx, cfg, file, qasmSrc, lam, qstats, loadS, estimateS, mitigateS)
+	}
 	out, err := json.MarshalIndent(mitigated, "", "  ")
 	if err != nil {
 		return err
@@ -194,4 +226,63 @@ func pipeline(cfg config) error {
 		return err
 	}
 	return os.WriteFile(cfg.outPath, out, 0o644)
+}
+
+// recordLedger assembles and appends this run's quality record. The
+// circuit identity prefers the counts envelope's name, then the QASM
+// path; the hash covers the QASM source when λ was estimated from one,
+// otherwise the counts file itself.
+func recordLedger(ctx context.Context, cfg config, file *results.File, qasmSrc []byte, lam float64, q qbeep.QualityStats, loadS, estimateS, mitigateS float64) {
+	circuit := file.Circuit
+	if circuit == "" && cfg.qasmPath != "" {
+		circuit = filepath.Base(cfg.qasmPath)
+	}
+	if circuit == "" {
+		circuit = filepath.Base(cfg.countsPath)
+	}
+	hashSrc := qasmSrc
+	if len(hashSrc) == 0 {
+		if raw, err := os.ReadFile(cfg.countsPath); err == nil {
+			hashSrc = raw
+		} else {
+			hashSrc = []byte(circuit)
+		}
+	}
+	backend := cfg.backend
+	if backend == "" {
+		backend = file.Backend
+	}
+	shots := float64(file.Shots)
+	if shots <= 0 {
+		for _, c := range file.Counts {
+			shots += c
+		}
+	}
+	stages := []runledger.Stage{{Name: "load", WallS: loadS}}
+	if estimateS > 0 {
+		stages = append(stages, runledger.Stage{Name: "estimate", WallS: estimateS})
+	}
+	stages = append(stages, runledger.Stage{Name: "mitigate", WallS: mitigateS})
+	rec := runledger.Record{
+		Tool:        "qbeep",
+		TraceID:     obs.TraceIDFrom(ctx),
+		Backend:     backend,
+		Circuit:     circuit,
+		CircuitHash: runledger.HashBytes(hashSrc),
+		Lambda:      lam,
+		Shots:       shots,
+		Stages:      stages,
+		Quality: runledger.Quality{
+			HellingerShift:   q.HellingerShift,
+			PosteriorEntropy: q.PosteriorEntropy,
+			Iterations:       q.Iterations,
+			Converged:        q.Converged,
+			SpectrumRef:      q.SpectrumRef,
+			SpectrumBefore:   q.SpectrumBefore,
+			SpectrumAfter:    q.SpectrumAfter,
+		},
+	}
+	if err := obs.RecordRun(&rec); err != nil {
+		obs.Logger().Warn("run-ledger append failed", "err", err)
+	}
 }

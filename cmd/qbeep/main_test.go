@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"qbeep/internal/obs"
+	"qbeep/internal/runledger"
 	"qbeep/internal/tracefile"
 )
 
@@ -200,6 +201,78 @@ func TestPipelineConvergeTolTrace(t *testing.T) {
 	}
 	if !strings.Contains(hot.String(), "adaptive early exit:") {
 		t.Fatalf("hotspots report missing early-exit summary:\n%s", hot.String())
+	}
+}
+
+// TestPipelineRunLedger runs the pipeline with a run ledger installed
+// and checks the appended record: identity from buildinfo, the staged
+// wall clocks, and the OnQuality block the mitigation loop delivered.
+func TestPipelineRunLedger(t *testing.T) {
+	dir := t.TempDir()
+	countsPath := filepath.Join(dir, "counts.json")
+	counts := map[string]int{"0101": 3812, "0111": 120, "0001": 88, "1101": 60}
+	raw, err := json.Marshal(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(countsPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ledgerPath := filepath.Join(dir, "ledger.ndjson")
+
+	lf := obs.LedgerFlags{Path: ledgerPath}
+	stopLedger, err := lf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perr := pipeline(config{
+		countsPath: countsPath,
+		lambda:     1.4,
+		iterations: 5,
+		epsilon:    0.05,
+		outPath:    filepath.Join(dir, "out.json"),
+	})
+	if err := stopLedger(); err != nil {
+		t.Fatal(err)
+	}
+	if perr != nil {
+		t.Fatal(perr)
+	}
+
+	recs, err := runledger.ReadFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d ledger records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Tool != "qbeep" || r.Lambda != 1.4 || r.Circuit != "counts.json" {
+		t.Fatalf("record identity: %+v", r)
+	}
+	if r.CircuitHash == "" || r.Time == "" || r.GoVersion == "" {
+		t.Fatalf("record stamps: %+v", r)
+	}
+	if r.Shots != 4080 {
+		t.Fatalf("shots = %v, want the summed counts 4080", r.Shots)
+	}
+	stages := map[string]bool{}
+	for _, s := range r.Stages {
+		stages[s.Name] = true
+	}
+	if !stages["load"] || !stages["mitigate"] || stages["estimate"] {
+		t.Fatalf("stages = %+v (want load+mitigate, no estimate for -lambda runs)", r.Stages)
+	}
+	q := r.Quality
+	if q.HellingerShift <= 0 || q.PosteriorEntropy <= 0 || q.Iterations != 5 {
+		t.Fatalf("quality block: %+v", q)
+	}
+	// No ground truth on this path: the spectrum centers on the mode.
+	if q.SpectrumRef != "mode" || len(q.SpectrumBefore) != 5 || len(q.SpectrumAfter) != 5 {
+		t.Fatalf("spectra: %+v", q)
+	}
+	if q.FidelityRaw != 0 || q.PSTRaw != 0 {
+		t.Fatalf("ground-truth fields must stay empty: %+v", q)
 	}
 }
 

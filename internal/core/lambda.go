@@ -11,6 +11,7 @@ import (
 
 	"qbeep/internal/circuit"
 	"qbeep/internal/device"
+	"qbeep/internal/obs"
 	"qbeep/internal/transpile"
 )
 
@@ -69,6 +70,13 @@ func EstimateLambda(res *transpile.Result, b *device.Backend) (LambdaBreakdown, 
 				out.Gates += gc.Error
 			}
 		}
+	}
+	// Every estimation path (CLI, simulator, experiments) funnels through
+	// here, so this is the one site that keeps the per-backend λ gauge
+	// current — calibration drift between snapshots shows up on /metrics
+	// as qbeep_quality_lambda{backend=...} moving.
+	if b.Name != "" {
+		obs.Default.LabeledGauge("quality.lambda", "backend", b.Name).Set(out.Lambda())
 	}
 	return out, nil
 }

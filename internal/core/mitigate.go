@@ -35,6 +35,37 @@ type IterationStats struct {
 	Duration time.Duration `json:"duration_ns"`
 }
 
+// QualityStats is the end-of-run quality record the mitigation loop
+// hands to Options.OnQuality: the Hamming-spectrum quality block of a
+// runledger.Record (DESIGN.md §16), computed once after the final
+// iteration. The ground-truth fields are populated only on tracked
+// runs (MitigateTracked); spectra are centered on the ideal mode when
+// one is known, else on the raw mode.
+type QualityStats struct {
+	// HellingerShift is H(raw, mitigated): how far induction moved the
+	// distribution (needs no ground truth).
+	HellingerShift float64
+	// PosteriorEntropy is the Shannon entropy (bits) of the mitigated
+	// distribution.
+	PosteriorEntropy float64
+	// Iterations actually executed; Converged reports whether the
+	// adaptive tolerance (Options.ConvergeTol) was met.
+	Iterations int
+	Converged  bool
+	// SpectrumRef names the spectrum center: "expected" (ideal mode)
+	// or "mode" (raw mode). SpectrumBefore/After are per-Hamming-
+	// distance probability mass around it, index i = distance i.
+	SpectrumRef    string
+	SpectrumBefore []float64
+	SpectrumAfter  []float64
+	// Ground truth (tracked runs only): Bhattacharyya fidelity and
+	// Hellinger distance to the ideal, before and after mitigation.
+	FidelityRaw        float64
+	FidelityMitigated  float64
+	HellingerRaw       float64
+	HellingerMitigated float64
+}
+
 // Options configures the iterative mitigation. NewOptions returns the
 // paper's published configuration (§4.1): ε = 0.05, 20 iterations,
 // learning rate 1/n.
@@ -54,6 +85,12 @@ type Options struct {
 	// round. Per-iteration wall clocks are only taken when set, so the
 	// nil default costs nothing.
 	OnIteration func(IterationStats)
+	// OnQuality, when non-nil, receives one QualityStats after the
+	// final iteration — the hook the -run-ledger recorder hangs off.
+	// The Hamming spectra and entropy are computed only when set
+	// (two O(support) passes); the Hellinger shift itself is always
+	// observed into the quality.hellinger_shift histogram.
+	OnQuality func(QualityStats)
 	// BuildWorkers caps the worker count of the state-graph edge scan
 	// (<= 0 selects GOMAXPROCS). The mitigated output is identical for
 	// every value — this is purely a throughput knob.
@@ -232,9 +269,36 @@ func mitigateCtx(ctx context.Context, counts *bitstring.Dist, lambda float64, op
 	metMitigateSaved.Add(int64(saved))
 	metFlowMoved.ObserveTrace(last.FlowMoved, traceID)
 	metFinalL1.ObserveTrace(last.L1Delta, traceID)
+	shift := bitstring.Hellinger(counts, out)
+	metQualityShift.ObserveTrace(shift, traceID)
 	sp.SetAttr("iterations", executed)
 	sp.SetAttr("iterations_saved", saved)
 	sp.SetAttr("vertices", g.NumVertices())
+	sp.SetAttr("hellinger_shift", shift)
+	if opts.OnQuality != nil {
+		q := QualityStats{
+			HellingerShift:   shift,
+			PosteriorEntropy: out.Entropy(),
+			Iterations:       executed,
+			Converged:        opts.ConvergeTol > 0 && last.Hellinger <= opts.ConvergeTol,
+		}
+		if ideal != nil {
+			q.FidelityRaw = trace[0]
+			q.FidelityMitigated = trace[len(trace)-1]
+			q.HellingerRaw = hellingerFromFidelity(q.FidelityRaw)
+			q.HellingerMitigated = hellingerFromFidelity(q.FidelityMitigated)
+			if center, ok := ideal.Top(); ok {
+				q.SpectrumRef = "expected"
+				q.SpectrumBefore = counts.HammingSpectrum(center)
+				q.SpectrumAfter = out.HammingSpectrum(center)
+			}
+		} else if center, ok := counts.Top(); ok {
+			q.SpectrumRef = "mode"
+			q.SpectrumBefore = counts.HammingSpectrum(center)
+			q.SpectrumAfter = out.HammingSpectrum(center)
+		}
+		opts.OnQuality(q)
+	}
 	obs.Logger().Debug("mitigation finished",
 		"iterations", executed, "iterations_saved", saved, "vertices", g.NumVertices(),
 		"edges", g.NumEdges(), "final_l1_delta", last.L1Delta)

@@ -28,4 +28,11 @@ var (
 	// the ideal for tracked runs.
 	metIterFlow  = obs.Default.Histogram("core.mitigate.iter_flow")
 	metHellinger = obs.Default.Histogram("core.mitigate.hellinger")
+
+	// Quality observatory (DESIGN.md §16): the raw→mitigated Hellinger
+	// shift of every run, worst sample stamped with its trace ID. The
+	// companion quality.pst_improvement histogram is observed where
+	// ground truth lives (internal/experiments); the per-backend
+	// quality.lambda labeled gauge is set by EstimateLambda.
+	metQualityShift = obs.Default.Histogram("quality.hellinger_shift")
 )

@@ -14,8 +14,12 @@ import (
 // use stays quiet under the default discarding logger.
 func figureSpan(id string) func() {
 	t0 := time.Now()
+	// Figures run serially; the active ID tags the quality samples and
+	// ledger records their workloads emit (see quality.go).
+	activeFigure.Store(id)
 	obs.Logger().Info("figure start", "figure", id)
 	return func() {
+		activeFigure.Store("")
 		obs.Logger().Info("figure done", "figure", id, "elapsed", time.Since(t0))
 	}
 }
@@ -41,11 +45,18 @@ type RunReport struct {
 	Figures        []FigureReport `json:"figures"`
 	TotalElapsedNS int64          `json:"total_elapsed_ns"`
 	TotalElapsedS  float64        `json:"total_elapsed_s"`
-	Metrics        map[string]any `json:"metrics,omitempty"`
+	// Quality is the per-figure mitigation-quality summary (Hellinger
+	// shift, fidelity before/after, PST improvement) aggregated from
+	// the run's workload records — the -report view of the run ledger.
+	Quality []FigureQuality `json:"quality,omitempty"`
+	Metrics map[string]any  `json:"metrics,omitempty"`
 }
 
-// NewRunReport starts a report for the given configuration.
+// NewRunReport starts a report for the given configuration and resets
+// the quality aggregator, so the eventual Finalize summarizes exactly
+// this run's workloads.
 func NewRunReport(cfg Config, started time.Time) *RunReport {
+	resetQualitySamples()
 	return &RunReport{
 		Started: started,
 		Seed:    cfg.Seed,
@@ -71,8 +82,10 @@ func (r *RunReport) AddFigure(id string, elapsed time.Duration, err error) {
 	r.TotalElapsedS += elapsed.Seconds()
 }
 
-// Finalize attaches the current obs metrics snapshot.
+// Finalize attaches the per-figure quality summary and the current obs
+// metrics snapshot.
 func (r *RunReport) Finalize() {
+	r.Quality = qualitySummary()
 	r.Metrics = obs.Default.Snapshot()
 }
 

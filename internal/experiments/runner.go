@@ -68,8 +68,14 @@ func runWorkload(w *algorithms.Workload, b *device.Backend, shots, batch int, op
 	if err != nil {
 		return nil, err
 	}
+	// Capture the core loop's end-of-run quality stats; recordQuality
+	// below merges them with the workload's exact ground truth and
+	// forwards everything to the report aggregator and the run ledger.
+	var qstats core.QualityStats
+	opts.OnQuality = func(q core.QualityStats) { qstats = q }
 	var qb *bitstring.Dist
 	var trace []float64
+	m0 := time.Now()
 	if track {
 		qb, trace, err = core.MitigateTracked(raw, lambda.Lambda(), opts, ideal)
 	} else {
@@ -78,6 +84,7 @@ func runWorkload(w *algorithms.Workload, b *device.Backend, shots, batch int, op
 	if err != nil {
 		return nil, err
 	}
+	mitigateWallS := time.Since(m0).Seconds()
 	hm, err := hammer.Mitigate(raw, hammer.NewOptions())
 	if err != nil {
 		return nil, err
@@ -85,7 +92,7 @@ func runWorkload(w *algorithms.Workload, b *device.Backend, shots, batch int, op
 	obs.Logger().Info("workload done",
 		"circuit", w.Circuit.Name, "backend", b.Name,
 		"shots", shots, "elapsed", time.Since(t0))
-	return &Outcome{
+	out := &Outcome{
 		Workload: w,
 		Backend:  b,
 		Raw:      raw,
@@ -94,7 +101,9 @@ func runWorkload(w *algorithms.Workload, b *device.Backend, shots, batch int, op
 		Ideal:    ideal,
 		Lambda:   lambda,
 		Trace:    trace,
-	}, nil
+	}
+	recordQuality(out, qstats, mitigateWallS)
+	return out, nil
 }
 
 // fidelity3 returns (raw, qbeep, hammer) fidelities against the ideal.

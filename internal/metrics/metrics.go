@@ -20,6 +20,27 @@ func PST(counts *bitstring.Dist, correct bitstring.BitString) (float64, error) {
 	return counts.Prob(correct), nil
 }
 
+// IST returns the Inference Strength of Trial: P(correct) over the
+// probability of the strongest incorrect outcome — how decisively the
+// correct answer stands out after mitigation. ok is false when every
+// observation is correct (no incorrect mass; the ratio is unbounded)
+// or the distribution is empty.
+func IST(counts *bitstring.Dist, correct bitstring.BitString) (ist float64, ok bool) {
+	if counts == nil || counts.Total() == 0 {
+		return 0, false
+	}
+	var worst float64
+	counts.Each(func(v bitstring.BitString, c float64) {
+		if v != correct && c > worst {
+			worst = c
+		}
+	})
+	if worst <= 0 {
+		return 0, false
+	}
+	return counts.Count(correct) / worst, true
+}
+
 // Fidelity is the classical (Bhattacharyya) fidelity between the ideal and
 // observed distributions — re-exported here so metric call sites read
 // uniformly.

@@ -27,6 +27,33 @@ func TestPST(t *testing.T) {
 	}
 }
 
+func TestIST(t *testing.T) {
+	d := bitstring.NewDist(3)
+	d.Add(0b101, 80)
+	d.Add(0b100, 16)
+	d.Add(0b001, 4)
+	got, ok := IST(d, 0b101)
+	if !ok || got != 5 {
+		t.Errorf("IST = %v ok=%v, want 5 true", got, ok)
+	}
+	// All mass correct: the ratio is unbounded, reported as not-ok.
+	pure := bitstring.NewDist(3)
+	pure.Add(0b101, 100)
+	if _, ok := IST(pure, 0b101); ok {
+		t.Error("no incorrect mass must report ok=false")
+	}
+	if _, ok := IST(nil, 0); ok {
+		t.Error("nil counts must report ok=false")
+	}
+	if _, ok := IST(bitstring.NewDist(3), 0); ok {
+		t.Error("empty counts must report ok=false")
+	}
+	// Correct answer never observed: IST is 0, but well-defined.
+	if got, ok := IST(d, 0b111); !ok || got != 0 {
+		t.Errorf("unobserved correct: %v ok=%v, want 0 true", got, ok)
+	}
+}
+
 func TestRelativeImprovement(t *testing.T) {
 	r, err := RelativeImprovement(0.2, 0.5)
 	if err != nil || math.Abs(r-2.5) > 1e-12 {

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qbeep/internal/buildinfo"
+	"qbeep/internal/runledger"
+)
+
+// Run-ledger recorder: the shared front door through which the CLIs
+// append mitigation-quality records (runledger.Record, DESIGN.md §16)
+// to the NDJSON ledger selected by -run-ledger. Mirrors the span-sink
+// design: an atomic pointer to the active writer, nil when disabled,
+// so the disabled path is one atomic load and zero allocations —
+// callers gate record assembly on RunLedgerEnabled().
+//
+// The recorder (not runledger itself) stamps wall-clock time and
+// buildinfo onto each record: runledger stays side-effect free and
+// deterministic for its round-trip goldens, while every record written
+// through obs carries when and from which build it came.
+
+// ledgerBox wraps the writer so the atomic pointer distinguishes
+// "no ledger" (nil box) without a typed-nil footgun.
+type ledgerBox struct{ w *runledger.Writer }
+
+var runLedgerPtr atomic.Pointer[ledgerBox]
+
+// SetRunLedger installs w as the process-wide run ledger (nil
+// uninstalls). The previous writer, if any, is not closed — the caller
+// owning it (LedgerFlags.Start's stop func) does that.
+func SetRunLedger(w *runledger.Writer) {
+	if w == nil {
+		runLedgerPtr.Store(nil)
+		return
+	}
+	runLedgerPtr.Store(&ledgerBox{w: w})
+}
+
+// RunLedgerEnabled reports whether a run ledger is installed. Hot
+// paths call this before assembling a record; it is a single atomic
+// load and never allocates.
+func RunLedgerEnabled() bool { return runLedgerPtr.Load() != nil }
+
+// ledgerStamp is the per-process identity stamped onto every record.
+var (
+	ledgerStampOnce sync.Once
+	ledgerGoVersion string
+	ledgerRevision  string
+)
+
+func ledgerIdentity() (goVersion, revision string) {
+	ledgerStampOnce.Do(func() {
+		i := buildinfo.Read()
+		ledgerGoVersion = i.GoVersion
+		ledgerRevision = i.Revision
+		if ledgerRevision == "" {
+			ledgerRevision = "unknown"
+		} else if len(ledgerRevision) > 12 {
+			ledgerRevision = ledgerRevision[:12]
+		}
+		if i.Modified {
+			ledgerRevision += "-dirty"
+		}
+	})
+	return ledgerGoVersion, ledgerRevision
+}
+
+// RecordRun stamps rec with wall-clock time and build identity and
+// appends it to the installed ledger. A nil ledger makes it a no-op
+// returning nil, so callers may invoke it unconditionally — though
+// assembling rec is usually worth skipping via RunLedgerEnabled.
+func RecordRun(rec *runledger.Record) error {
+	box := runLedgerPtr.Load()
+	if box == nil {
+		return nil
+	}
+	if rec.Time == "" {
+		rec.Time = time.Now().UTC().Format(time.RFC3339)
+	}
+	if rec.GoVersion == "" && rec.Revision == "" {
+		rec.GoVersion, rec.Revision = ledgerIdentity()
+	}
+	return box.w.Append(rec)
+}
+
+// LedgerFlags holds the value of the shared -run-ledger flag.
+type LedgerFlags struct {
+	Path string
+}
+
+// AddLedgerFlags registers the shared -run-ledger flag on fs (the
+// default flag set when fs is nil) and returns the destination struct.
+// Call Start after flag parsing.
+func AddLedgerFlags(fs *flag.FlagSet) *LedgerFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &LedgerFlags{}
+	fs.StringVar(&f.Path, "run-ledger", "",
+		"append per-run quality records as NDJSON to this file; analyze with qbeep-ledger")
+	return f
+}
+
+// Start opens (or creates, appending) the ledger and installs it as
+// the process-wide recorder. The returned stop function uninstalls the
+// recorder, flushes, closes the file, and reports the first write
+// error. With an empty path both Start and stop are no-ops.
+func (f *LedgerFlags) Start() (stop func() error, err error) {
+	if f.Path == "" {
+		return func() error { return nil }, nil
+	}
+	w, err := runledger.Create(f.Path)
+	if err != nil {
+		return nil, fmt.Errorf("opening -run-ledger output: %w", err)
+	}
+	SetRunLedger(w)
+	return func() error {
+		SetRunLedger(nil)
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("writing -run-ledger output: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"qbeep/internal/runledger"
+)
+
+// TestLedgerFlagsStartStop is the recorder round trip: install via the
+// flag helper, record, stop, read back — checking the obs-side stamps
+// (time, build identity) landed on the record.
+func TestLedgerFlagsStartStop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.ndjson")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddLedgerFlags(fs)
+	if err := fs.Parse([]string{"-run-ledger", path}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !RunLedgerEnabled() {
+		t.Fatal("ledger not enabled after Start")
+	}
+	rec := runledger.Record{
+		Tool: "qbeep-test", Backend: "istanbul", Lambda: 1.2,
+		Quality: runledger.Quality{HellingerShift: 0.1},
+	}
+	if err := RecordRun(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if RunLedgerEnabled() {
+		t.Fatal("ledger still enabled after stop")
+	}
+
+	recs, err := runledger.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("want 1 record, got %d", len(recs))
+	}
+	got := recs[0]
+	if got.Tool != "qbeep-test" || got.Backend != "istanbul" {
+		t.Fatalf("identity lost: %+v", got)
+	}
+	if got.Time == "" {
+		t.Fatal("recorder did not stamp Time")
+	}
+	if got.GoVersion == "" || got.Revision == "" {
+		t.Fatalf("recorder did not stamp build identity: %+v", got)
+	}
+	if got.Schema != runledger.SchemaVersion || got.Seq != 0 {
+		t.Fatalf("writer stamps missing: %+v", got)
+	}
+}
+
+// TestLedgerFlagsDisabledNoop: empty path means Start and stop are
+// no-ops and RecordRun silently drops records.
+func TestLedgerFlagsDisabledNoop(t *testing.T) {
+	f := &LedgerFlags{}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RunLedgerEnabled() {
+		t.Fatal("empty path must not enable the ledger")
+	}
+	if err := RecordRun(&runledger.Record{}); err != nil {
+		t.Fatalf("disabled RecordRun: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLedgerDisabledZeroAlloc asserts the contract the CLIs rely
+// on: with no ledger installed, the per-run check-and-skip path
+// allocates nothing (same bar as the disabled span path).
+func TestRunLedgerDisabledZeroAlloc(t *testing.T) {
+	SetRunLedger(nil)
+	rec := runledger.Record{Tool: "qbeep"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if RunLedgerEnabled() {
+			_ = RecordRun(&rec)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled ledger path allocates %v per run, want 0", allocs)
+	}
+	// RecordRun called unconditionally must also stay alloc-free.
+	allocs = testing.AllocsPerRun(1000, func() {
+		_ = RecordRun(&rec)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled RecordRun allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkRunLedgerDisabled is the benchmark-asserted form of the
+// zero-alloc contract (mirrors BenchmarkStartDisabled for spans).
+func BenchmarkRunLedgerDisabled(b *testing.B) {
+	SetRunLedger(nil)
+	rec := runledger.Record{Tool: "qbeep"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if RunLedgerEnabled() {
+			_ = RecordRun(&rec)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -282,6 +283,48 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// LabeledGauge returns the gauge for one (family, label=value) series,
+// creating it on first use. The registry stays a flat namespace: the
+// series is stored under the key `family{label="value"}`, which the
+// Prometheus writer splits back into a labeled sample under a single
+// # TYPE line per family (qbeep_quality_lambda{backend="istanbul"}).
+// Label names are sanitized like metric names; values have quotes,
+// backslashes, and control characters escaped. Hot paths should cache
+// the returned pointer per (family, value) pair — the lookup builds
+// the composite key.
+func (r *Registry) LabeledGauge(family, label, value string) *Gauge {
+	var b strings.Builder
+	b.Grow(len(family) + len(label) + len(value) + 5)
+	b.WriteString(family)
+	b.WriteByte('{')
+	for _, c := range label {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	b.WriteString("=\"")
+	for _, c := range value {
+		switch c {
+		case '\\', '"':
+			b.WriteByte('\\')
+			b.WriteRune(c)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			if c < 0x20 {
+				b.WriteByte('_')
+			} else {
+				b.WriteRune(c)
+			}
+		}
+	}
+	b.WriteString("\"}")
+	return r.Gauge(b.String())
 }
 
 // Timer returns the named timer, creating it on first use.

@@ -147,9 +147,25 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 			return err
 		}
 	}
+	// Labeled gauges (Registry.LabeledGauge) are stored under composite
+	// `family{label="value"}` keys; the family is sanitized, the label
+	// block passes through verbatim. Lexical key order keeps a family's
+	// series adjacent (and any unlabeled series first, '{' sorting after
+	// alphanumerics), so one # TYPE line per family suffices.
+	lastGaugeFamily := ""
 	for _, k := range sortedKeys(gauges) {
-		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(gauges[k].Value())); err != nil {
+		family, labels := k, ""
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			family, labels = k[:i], k[i:]
+		}
+		name := promName(family)
+		if name != lastGaugeFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+				return err
+			}
+			lastGaugeFamily = name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, promFloat(gauges[k].Value())); err != nil {
 			return err
 		}
 	}

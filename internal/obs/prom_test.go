@@ -29,6 +29,16 @@ func promRegistry() *Registry {
 	h.Observe(0.159)
 	h.Observe(0.048)
 	h.Observe(0.016)
+	// The quality observatory families (DESIGN.md §16): a per-backend
+	// labeled λ gauge plus the Hellinger-shift and PST-improvement
+	// histograms with worst-trace stamping.
+	r.LabeledGauge("quality.lambda", "backend", "almaden").Set(0.8)
+	r.LabeledGauge("quality.lambda", "backend", "istanbul").Set(1.25)
+	qh := r.Histogram("quality.hellinger_shift")
+	qh.ObserveTrace(0.18, 7)
+	qh.Observe(0.05)
+	qp := r.Histogram("quality.pst_improvement")
+	qp.ObserveTrace(1.36, 7)
 	return r
 }
 
@@ -90,6 +100,49 @@ func TestPrometheusFormatInvariants(t *testing.T) {
 			}
 			prevBucket = v
 		}
+	}
+}
+
+// TestLabeledGaugeExposition pins the labeled-gauge rendering: one
+// # TYPE line per family, series adjacent in value order, label values
+// escaped.
+func TestLabeledGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledGauge("quality.lambda", "backend", "istanbul").Set(1.25)
+	r.LabeledGauge("quality.lambda", "backend", "almaden").Set(0.8)
+	r.Gauge("other").Set(3)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "# TYPE qbeep_quality_lambda gauge"); got != 1 {
+		t.Fatalf("want exactly one TYPE line for the family, got %d:\n%s", got, out)
+	}
+	for _, want := range []string{
+		"qbeep_quality_lambda{backend=\"almaden\"} 0.8\n",
+		"qbeep_quality_lambda{backend=\"istanbul\"} 1.25\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Same (family, label, value) returns the same series.
+	g := r.LabeledGauge("quality.lambda", "backend", "istanbul")
+	if g != r.LabeledGauge("quality.lambda", "backend", "istanbul") {
+		t.Fatal("LabeledGauge must be get-or-create per series")
+	}
+
+	// Hostile label values cannot break the exposition line format.
+	r2 := NewRegistry()
+	r2.LabeledGauge("q", "l", "a\"b\\c\nd").Set(1)
+	buf.Reset()
+	if err := WritePrometheus(&buf, r2); err != nil {
+		t.Fatal(err)
+	}
+	if want := `qbeep_q{l="a\"b\\c\nd"} 1` + "\n"; !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaping: got %q, want %q", buf.String(), want)
 	}
 }
 

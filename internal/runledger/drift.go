@@ -1,0 +1,140 @@
+package runledger
+
+import "math"
+
+// Drift detection over a quality-metric series (λ, Hellinger shift)
+// ordered by ledger Seq. Two classic control charts run side by side:
+//
+//   - EWMA: z_i = α·x_i + (1−α)·z_{i−1}, alarmed when z leaves
+//     μ0 ± L·σ0·sqrt(α/(2−α)) — the chart's asymptotic standard
+//     deviation. Catches sustained step shifts quickly.
+//   - Tabular CUSUM: C⁺_i = max(0, C⁺_{i−1} + x_i − μ0 − k·σ0),
+//     C⁻ symmetric, alarmed past h·σ0. With the textbook k = 0.5,
+//     h = 5 it accumulates slow ramps the EWMA band can lag on.
+//
+// The baseline moments (μ0, σ0) are frozen from the warmup prefix, so
+// drift after warmup cannot pull the reference along with it.
+
+// DriftConfig parameterizes Detect. Zero values select the defaults
+// noted per field.
+type DriftConfig struct {
+	// Alpha is the EWMA smoothing weight in (0, 1]; default 0.2.
+	Alpha float64
+	// L is the EWMA control-limit width in σ_ewma units; default 3.
+	L float64
+	// K is the CUSUM reference (allowance) in σ0 units; default 0.5.
+	K float64
+	// H is the CUSUM decision threshold in σ0 units; default 5.
+	H float64
+	// Warmup is the number of leading samples that freeze μ0 and σ0;
+	// default min(50, len/3) with a floor of 4. The CUSUM integrates
+	// the baseline's sampling error over the whole tail, so a too-short
+	// warmup false-alarms on long in-control series.
+	Warmup int
+}
+
+// withDefaults resolves zero fields against the series length.
+func (c DriftConfig) withDefaults(n int) DriftConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.L <= 0 {
+		c.L = 3
+	}
+	if c.K <= 0 {
+		c.K = 0.5
+	}
+	if c.H <= 0 {
+		c.H = 5
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 50
+		if n/3 < c.Warmup {
+			c.Warmup = n / 3
+		}
+		if c.Warmup < 4 {
+			c.Warmup = 4
+		}
+	}
+	return c
+}
+
+// Alarm is one control-chart excursion.
+type Alarm struct {
+	// Index is the 0-based sample index that tripped the chart.
+	Index int `json:"index"`
+	// Detector is "ewma" or "cusum".
+	Detector string `json:"detector"`
+	// Stat is the chart statistic at the alarm (EWMA value, or the
+	// signed CUSUM sum in σ0 units).
+	Stat float64 `json:"stat"`
+	// Limit is the threshold that was crossed, in the same units.
+	Limit float64 `json:"limit"`
+}
+
+// DriftResult is the outcome of one Detect call.
+type DriftResult struct {
+	N      int     `json:"n"`
+	Warmup int     `json:"warmup"`
+	Mean   float64 `json:"mean"` // baseline μ0 (warmup prefix)
+	Std    float64 `json:"std"`  // baseline σ0 (warmup prefix)
+	Alarms []Alarm `json:"alarms,omitempty"`
+}
+
+// Drifted reports whether any chart alarmed.
+func (r DriftResult) Drifted() bool { return len(r.Alarms) > 0 }
+
+// Detect runs both charts over series. Series shorter than the warmup
+// (plus one) cannot alarm. Each detector reports at most its first
+// alarm — the onset is what matters operationally; once a chart is
+// tripped, later excursions of the same chart are the same episode.
+func Detect(series []float64, cfg DriftConfig) DriftResult {
+	cfg = cfg.withDefaults(len(series))
+	res := DriftResult{N: len(series), Warmup: cfg.Warmup}
+	if len(series) <= cfg.Warmup {
+		if len(series) > 0 {
+			res.Mean, res.Std = meanStd(series)
+		}
+		return res
+	}
+	mu0, sigma0 := meanStd(series[:cfg.Warmup])
+	res.Mean, res.Std = mu0, sigma0
+	if sigma0 < 1e-12 {
+		// Deterministic warmup (repeated identical runs): any later
+		// deviation is a real change, but a zero-width band would alarm
+		// on float noise. Use a tiny relative floor instead.
+		sigma0 = math.Max(math.Abs(mu0), 1) * 1e-9
+	}
+
+	ewmaLimit := cfg.L * sigma0 * math.Sqrt(cfg.Alpha/(2-cfg.Alpha))
+	z := mu0
+	var cPos, cNeg float64 // CUSUM sums, in σ0 units
+	var ewmaDone, cusumDone bool
+	for i, x := range series {
+		z = cfg.Alpha*x + (1-cfg.Alpha)*z
+		if i < cfg.Warmup {
+			continue
+		}
+		if !ewmaDone && math.Abs(z-mu0) > ewmaLimit {
+			res.Alarms = append(res.Alarms, Alarm{Index: i, Detector: "ewma", Stat: z, Limit: ewmaLimit})
+			ewmaDone = true
+		}
+		u := (x - mu0) / sigma0
+		cPos = math.Max(0, cPos+u-cfg.K)
+		cNeg = math.Max(0, cNeg-u-cfg.K)
+		if !cusumDone {
+			switch {
+			case cPos > cfg.H:
+				res.Alarms = append(res.Alarms, Alarm{Index: i, Detector: "cusum", Stat: cPos, Limit: cfg.H})
+				cusumDone = true
+			case cNeg > cfg.H:
+				res.Alarms = append(res.Alarms, Alarm{Index: i, Detector: "cusum", Stat: -cNeg, Limit: cfg.H})
+				cusumDone = true
+			}
+		}
+		if ewmaDone && cusumDone {
+			break
+		}
+	}
+	return res
+}

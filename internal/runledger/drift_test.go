@@ -1,0 +1,145 @@
+package runledger
+
+import (
+	"testing"
+
+	"qbeep/internal/mathx"
+)
+
+// noisySeries builds a deterministic series μ + σ·N(0,1) using the
+// repo's seeded RNG so the control-chart tests are exactly
+// reproducible.
+func noisySeries(rng *mathx.RNG, n int, mu, sigma float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+// TestDetectStationaryNoAlarms: in-control noise must not trip either
+// chart (that is the whole point of the L/h widths).
+func TestDetectStationaryNoAlarms(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	series := noisySeries(rng, 200, 1.0, 0.02)
+	res := Detect(series, DriftConfig{})
+	if res.Drifted() {
+		t.Fatalf("stationary series alarmed: %+v", res.Alarms)
+	}
+	if res.Warmup != 50 {
+		t.Fatalf("warmup = %d, want default min(50, n/3) = 50", res.Warmup)
+	}
+	if res.Mean < 0.98 || res.Mean > 1.02 {
+		t.Fatalf("baseline mean = %v, want ≈1.0", res.Mean)
+	}
+}
+
+// TestDetectStepDrift: a +15σ step at sample 60 must alarm both
+// charts shortly after onset — and never before it.
+func TestDetectStepDrift(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	series := noisySeries(rng, 60, 1.0, 0.02)
+	series = append(series, noisySeries(rng, 60, 1.3, 0.02)...)
+	res := Detect(series, DriftConfig{Warmup: 50})
+	if len(res.Alarms) != 2 {
+		t.Fatalf("want ewma+cusum alarms, got %+v", res.Alarms)
+	}
+	for _, a := range res.Alarms {
+		if a.Index < 60 {
+			t.Errorf("%s alarmed at %d, before the step at 60", a.Detector, a.Index)
+		}
+		if a.Index > 64 {
+			t.Errorf("%s alarmed at %d, too long after the step at 60", a.Detector, a.Index)
+		}
+	}
+}
+
+// TestDetectDownwardStep: the charts are two-sided; a collapse (e.g.
+// PST improvement falling) alarms with a negative CUSUM statistic.
+func TestDetectDownwardStep(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	series := noisySeries(rng, 60, 1.0, 0.02)
+	series = append(series, noisySeries(rng, 60, 0.7, 0.02)...)
+	res := Detect(series, DriftConfig{Warmup: 50})
+	var sawCUSUM bool
+	for _, a := range res.Alarms {
+		if a.Index < 60 {
+			t.Errorf("%s alarmed at %d, before the step", a.Detector, a.Index)
+		}
+		if a.Detector == "cusum" {
+			sawCUSUM = true
+			if a.Stat >= 0 {
+				t.Errorf("downward step must report a negative CUSUM stat, got %v", a.Stat)
+			}
+		}
+	}
+	if !sawCUSUM {
+		t.Fatalf("no cusum alarm: %+v", res.Alarms)
+	}
+}
+
+// TestDetectRampDrift: a slow ramp (0.25σ per sample) accumulates in
+// the CUSUM long before the raw values look alarming point-wise.
+func TestDetectRampDrift(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	series := noisySeries(rng, 40, 1.0, 0.02)
+	for i := 0; i < 80; i++ {
+		series = append(series, 1.0+0.005*float64(i+1)+0.02*rng.NormFloat64())
+	}
+	res := Detect(series, DriftConfig{})
+	var cusumAt = -1
+	for _, a := range res.Alarms {
+		if a.Index < 40 {
+			t.Errorf("%s alarmed at %d, before the ramp at 40", a.Detector, a.Index)
+		}
+		if a.Detector == "cusum" {
+			cusumAt = a.Index
+		}
+	}
+	if cusumAt < 0 {
+		t.Fatalf("ramp did not trip CUSUM: %+v", res.Alarms)
+	}
+	// The ramp reaches +5σ drift (0.1 absolute) only at sample ~60;
+	// CUSUM accumulation should fire well before sample 80.
+	if cusumAt > 80 {
+		t.Errorf("cusum alarm at %d, expected before 80 on a 0.25σ/sample ramp", cusumAt)
+	}
+}
+
+// TestDetectShortSeries: warmup-or-shorter series never alarm.
+func TestDetectShortSeries(t *testing.T) {
+	res := Detect([]float64{1, 2, 3}, DriftConfig{})
+	if res.Drifted() {
+		t.Fatalf("short series alarmed: %+v", res.Alarms)
+	}
+}
+
+// TestDetectZeroVarianceWarmup: a deterministic warmup (repeated
+// identical seeded runs) still detects a later change without
+// alarming on bit-identical values.
+func TestDetectZeroVarianceWarmup(t *testing.T) {
+	series := make([]float64, 30)
+	for i := range series {
+		series[i] = 1.25
+	}
+	if res := Detect(series, DriftConfig{}); res.Drifted() {
+		t.Fatalf("constant series alarmed: %+v", res.Alarms)
+	}
+	series = append(series, 1.26) // any real change
+	res := Detect(series, DriftConfig{})
+	if !res.Drifted() {
+		t.Fatal("change after deterministic warmup not detected")
+	}
+}
+
+// TestDetectFirstAlarmOnly: each detector reports its onset once, not
+// every post-drift sample.
+func TestDetectFirstAlarmOnly(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	series := noisySeries(rng, 40, 1.0, 0.02)
+	series = append(series, noisySeries(rng, 200, 2.0, 0.02)...)
+	res := Detect(series, DriftConfig{Warmup: 40})
+	if len(res.Alarms) > 2 {
+		t.Fatalf("want at most one alarm per detector, got %+v", res.Alarms)
+	}
+}

@@ -1,0 +1,198 @@
+package runledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Quality gate: QUALITY_baseline.json pins per-group metric means for
+// a known-good tree; CompareBaseline recomputes the same aggregates
+// from a fresh ledger and fails when a metric regresses past the
+// threshold. Mirrors the cmd/qbeep-bench ratio gate (DESIGN.md §11),
+// but over mitigation quality instead of speed: the gated metrics are
+// seed-deterministic outputs of the quick experiment workload, so the
+// gate is noise-free in a way wall-clock benchmarks are not.
+
+// Direction classifies how a metric regresses.
+type Direction int
+
+const (
+	// HigherBetter fails when current < baseline·(1−threshold).
+	HigherBetter Direction = iota
+	// LowerBetter fails when current > baseline·(1+threshold).
+	LowerBetter
+	// Band fails when |current−baseline| > threshold·|baseline|:
+	// the metric is an equilibrium, not a score (λ must track the
+	// device model, not trend anywhere).
+	Band
+)
+
+// GateDirections maps each gated metric to its regression semantics.
+// Metrics absent here (timing) are reported but never gated.
+var GateDirections = map[string]Direction{
+	MetricLambda:             Band,
+	MetricHellingerShift:     Band,
+	MetricHellingerMitigated: LowerBetter,
+	MetricFidelityMitigated:  HigherBetter,
+	MetricPSTMitigated:       HigherBetter,
+	MetricPSTImprovement:     HigherBetter,
+	MetricPosteriorEntropy:   Band,
+}
+
+// BaselineGroup pins the mean of each gated metric for one (backend,
+// circuit) bucket. Empty Backend/Circuit means "all records".
+type BaselineGroup struct {
+	Backend string             `json:"backend,omitempty"`
+	Circuit string             `json:"circuit,omitempty"`
+	N       int                `json:"n"`
+	Means   map[string]float64 `json:"means"`
+}
+
+// Baseline is the checked-in QUALITY_baseline.json document.
+type Baseline struct {
+	Description string `json:"description,omitempty"`
+	Commit      string `json:"commit,omitempty"`
+	// Threshold is the default relative tolerance (0.10 = 10%) applied
+	// when the comparison does not override it.
+	Threshold float64         `json:"threshold"`
+	Groups    []BaselineGroup `json:"groups"`
+}
+
+// BuildBaseline aggregates recs into a baseline: one overall group
+// plus one group per backend, pinning the mean of every gated metric
+// the bucket carries.
+func BuildBaseline(recs []Record, commit string) (Baseline, error) {
+	if len(recs) == 0 {
+		return Baseline{}, ErrEmpty
+	}
+	b := Baseline{
+		Description: "Mitigation-quality baseline for make quality-gate (cmd/qbeep-ledger -gate).",
+		Commit:      commit,
+		Threshold:   0.10,
+	}
+	b.Groups = append(b.Groups, baselineGroup("", "", recs))
+	backends := map[string]bool{}
+	for _, r := range recs {
+		if r.Backend != "" {
+			backends[r.Backend] = true
+		}
+	}
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sub := Filter{Backend: n}.Apply(recs)
+		b.Groups = append(b.Groups, baselineGroup(n, "", sub))
+	}
+	return b, nil
+}
+
+func baselineGroup(backend, circuit string, recs []Record) BaselineGroup {
+	g := BaselineGroup{Backend: backend, Circuit: circuit, N: len(recs), Means: map[string]float64{}}
+	for m := range GateDirections {
+		if series := Series(recs, m); len(series) > 0 {
+			g.Means[m] = Summarize(series).Mean
+		}
+	}
+	return g
+}
+
+// LoadBaseline reads a baseline document from disk.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// SaveBaseline writes the baseline as indented JSON (it is a
+// checked-in file; diffs should be readable).
+func (b Baseline) SaveBaseline(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// GateFinding is one metric comparison. Failed findings carry the
+// reason the gate tripped.
+type GateFinding struct {
+	Backend  string  `json:"backend,omitempty"`
+	Circuit  string  `json:"circuit,omitempty"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Delta is the signed relative change (current−baseline)/baseline.
+	Delta  float64 `json:"delta"`
+	Failed bool    `json:"failed"`
+}
+
+// CompareBaseline recomputes each baseline group's metric means from
+// recs and gates them. threshold ≤ 0 uses the baseline's own default.
+// A baseline group with no matching records fails (the gate workload
+// shrank); a baseline metric the current run no longer carries fails
+// likewise. Metrics sort within each group for deterministic output.
+func CompareBaseline(recs []Record, base Baseline, threshold float64) (findings []GateFinding, failed bool, err error) {
+	if len(recs) == 0 {
+		return nil, true, ErrEmpty
+	}
+	if threshold <= 0 {
+		threshold = base.Threshold
+	}
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+	for _, g := range base.Groups {
+		sub := Filter{Backend: g.Backend, Circuit: g.Circuit}.Apply(recs)
+		if len(sub) == 0 {
+			findings = append(findings, GateFinding{Backend: g.Backend, Circuit: g.Circuit, Metric: "(records)", Baseline: float64(g.N), Failed: true})
+			failed = true
+			continue
+		}
+		metrics := make([]string, 0, len(g.Means))
+		for m := range g.Means {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			baseMean := g.Means[m]
+			f := GateFinding{Backend: g.Backend, Circuit: g.Circuit, Metric: m, Baseline: baseMean}
+			series := Series(sub, m)
+			if len(series) == 0 {
+				f.Failed = true
+				findings = append(findings, f)
+				failed = true
+				continue
+			}
+			f.Current = Summarize(series).Mean
+			if baseMean != 0 {
+				f.Delta = (f.Current - baseMean) / baseMean
+			} else if f.Current != 0 {
+				f.Delta = 1
+			}
+			switch GateDirections[m] {
+			case HigherBetter:
+				f.Failed = f.Delta < -threshold
+			case LowerBetter:
+				f.Failed = f.Delta > threshold
+			case Band:
+				f.Failed = f.Delta > threshold || f.Delta < -threshold
+			}
+			if f.Failed {
+				failed = true
+			}
+			findings = append(findings, f)
+		}
+	}
+	return findings, failed, nil
+}

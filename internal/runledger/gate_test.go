@@ -1,0 +1,167 @@
+package runledger
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// gateFixture builds a small healthy ledger: two backends, ground
+// truth known, deterministic values.
+func gateFixture() []Record {
+	var recs []Record
+	for i := 0; i < 4; i++ {
+		recs = append(recs, Record{
+			Tool: "qbeep-experiments", Figure: "7",
+			Backend: "istanbul", Circuit: "bv_8", Lambda: 1.2,
+			Quality: Quality{
+				HellingerShift: 0.20, HellingerMitigated: 0.20,
+				FidelityMitigated: 0.95, PSTMitigated: 0.80, PSTImprovement: 1.30,
+				PosteriorEntropy: 1.5,
+			},
+		})
+		recs = append(recs, Record{
+			Tool: "qbeep-experiments", Figure: "7",
+			Backend: "almaden", Circuit: "bv_8", Lambda: 0.9,
+			Quality: Quality{
+				HellingerShift: 0.15, HellingerMitigated: 0.25,
+				FidelityMitigated: 0.92, PSTMitigated: 0.75, PSTImprovement: 1.20,
+				PosteriorEntropy: 1.8,
+			},
+		})
+	}
+	return recs
+}
+
+// TestGateSelfComparison: a ledger compared against its own baseline
+// must pass — the identity gate, same contract as bench-gate.
+func TestGateSelfComparison(t *testing.T) {
+	recs := gateFixture()
+	base, err := BuildBaseline(recs, "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Groups) != 3 { // overall + 2 backends
+		t.Fatalf("want 3 baseline groups, got %d", len(base.Groups))
+	}
+	findings, failed, err := CompareBaseline(recs, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("self comparison failed: %+v", findings)
+	}
+	for _, f := range findings {
+		if f.Delta != 0 {
+			t.Errorf("self comparison delta %v for %s/%s", f.Delta, f.Backend, f.Metric)
+		}
+	}
+}
+
+// TestGateSyntheticRegression: degrade mitigated quality past the
+// threshold and the gate must fail with the culpable metrics named —
+// the acceptance-criteria scenario for make quality-gate.
+func TestGateSyntheticRegression(t *testing.T) {
+	recs := gateFixture()
+	base, err := BuildBaseline(recs, "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic regression: PST improvement collapses and the
+	// mitigated Hellinger distance doubles on every run.
+	bad := make([]Record, len(recs))
+	copy(bad, recs)
+	for i := range bad {
+		bad[i].Quality.PSTImprovement = 1.0
+		bad[i].Quality.HellingerMitigated *= 2
+	}
+	findings, failed, err := CompareBaseline(bad, base, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("synthetic regression passed the gate: %+v", findings)
+	}
+	failedMetrics := map[string]bool{}
+	for _, f := range findings {
+		if f.Failed {
+			failedMetrics[f.Metric] = true
+		}
+	}
+	if !failedMetrics[MetricPSTImprovement] || !failedMetrics[MetricHellingerMitigated] {
+		t.Fatalf("regressed metrics not flagged: %+v", findings)
+	}
+	if failedMetrics[MetricLambda] {
+		t.Fatalf("lambda did not change but was flagged: %+v", findings)
+	}
+}
+
+// TestGateBandMetric: λ is gated as a band — drifting either way past
+// the threshold fails, small wobble passes.
+func TestGateBandMetric(t *testing.T) {
+	recs := gateFixture()
+	base, _ := BuildBaseline(recs, "")
+	for _, scale := range []float64{1.25, 0.75} {
+		bad := make([]Record, len(recs))
+		copy(bad, recs)
+		for i := range bad {
+			bad[i].Lambda *= scale
+		}
+		_, failed, err := CompareBaseline(bad, base, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !failed {
+			t.Errorf("lambda scaled by %v passed a 10%% band gate", scale)
+		}
+	}
+	// 5% wobble stays inside the 10% band.
+	ok := make([]Record, len(recs))
+	copy(ok, recs)
+	for i := range ok {
+		ok[i].Lambda *= 1.05
+	}
+	if _, failed, _ := CompareBaseline(ok, base, 0.10); failed {
+		t.Error("5% lambda wobble failed a 10% band gate")
+	}
+}
+
+// TestGateMissingGroupFails: if the gate workload no longer produces
+// records for a pinned group, that is a failure, not a silent skip.
+func TestGateMissingGroupFails(t *testing.T) {
+	recs := gateFixture()
+	base, _ := BuildBaseline(recs, "")
+	only := Filter{Backend: "istanbul"}.Apply(recs)
+	findings, failed, err := CompareBaseline(only, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("missing almaden group passed: %+v", findings)
+	}
+}
+
+// TestBaselineRoundTrip: Save/Load preserves the document.
+func TestBaselineRoundTrip(t *testing.T) {
+	base, _ := BuildBaseline(gateFixture(), "abc1234")
+	path := filepath.Join(t.TempDir(), "QUALITY_baseline.json")
+	if err := base.SaveBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Commit != "abc1234" || back.Threshold != 0.10 || len(back.Groups) != len(base.Groups) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if _, failed, err := CompareBaseline(gateFixture(), back, 0); err != nil || failed {
+		t.Fatalf("reloaded baseline failed self comparison: failed=%v err=%v", failed, err)
+	}
+}
+
+func TestCompareBaselineEmptyLedger(t *testing.T) {
+	base, _ := BuildBaseline(gateFixture(), "")
+	if _, failed, err := CompareBaseline(nil, base, 0); err == nil || !failed {
+		t.Fatal("empty ledger must fail the gate with ErrEmpty")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"qbeep"
 	"qbeep/internal/obs"
 	"qbeep/internal/par"
 )
@@ -36,6 +37,27 @@ func run() error {
 	if err := par.ForEach(8, 2, func(int) error { return nil }); err != nil {
 		return err
 	}
+	// A real tiny mitigation and λ estimation drive the quality families
+	// live: the core loop observes qbeep_quality_hellinger_shift, Eq. 2
+	// estimation sets the per-backend qbeep_quality_lambda gauge.
+	if _, err := qbeep.Mitigate(qbeep.Counts{"000": 900, "001": 50, "010": 30, "100": 20}, 1.2, qbeep.NewOptions()); err != nil {
+		return err
+	}
+	const bell = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+	if _, err := qbeep.EstimateLambdaQASM(bell, "istanbul"); err != nil {
+		return err
+	}
+	// PST improvement lives in the experiments layer; a synthetic
+	// observation checks the family renders on the same exposition.
+	obs.Default.Histogram("quality.pst_improvement").ObserveTrace(1.34, 9)
 
 	ds, err := obs.ServeDebug("127.0.0.1:0")
 	if err != nil {
@@ -74,6 +96,14 @@ func run() error {
 		"# TYPE qbeep_par_worker_busy_ratio_min gauge",
 		"# TYPE qbeep_par_worker_busy_ratio_mean gauge",
 		"# TYPE qbeep_par_worker_busy_ratio_max gauge",
+		// Quality-observatory families (DESIGN.md §16): the mitigation
+		// above observed the shift histogram, estimation labeled the λ
+		// gauge, and the synthetic PST ratio carried its trace stamp.
+		"# TYPE qbeep_quality_hellinger_shift histogram",
+		"# TYPE qbeep_quality_lambda gauge",
+		`qbeep_quality_lambda{backend="istanbul"} `,
+		"# TYPE qbeep_quality_pst_improvement histogram",
+		`qbeep_quality_pst_improvement_window_worst{trace="9"} 1.34`,
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %q in:\n%s", want, metrics)
